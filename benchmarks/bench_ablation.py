@@ -1,0 +1,68 @@
+"""Ablation bench: configuration trade-offs (Sections 4.3-4.6, 5.1.2).
+
+Times the configurations the ablation study compares and prints the
+full trade-off tables.
+"""
+
+import pytest
+
+from repro.core import InstrumentationConfig
+from repro.driver import CompileOptions, compile_program, run_program
+from repro.workloads import get
+
+from conftest import run_benchmark
+
+
+@pytest.mark.parametrize("name", ["464h264ref", "300twolf"])
+@pytest.mark.parametrize("wrapper_checks", [False, True],
+                         ids=["wrapper-checks-off", "wrapper-checks-on"])
+def test_wrapper_check_cost(benchmark, name, wrapper_checks):
+    benchmark.group = f"ablation:{name}"
+    workload = get(name)
+    config = InstrumentationConfig.softbound(
+        opt_dominance=True, sb_wrapper_checks=wrapper_checks
+    )
+    options = CompileOptions(
+        obfuscate_pointer_copies=tuple(workload.obfuscated_units)
+    )
+    program = compile_program(workload.sources, config, options)
+
+    def execute():
+        result = run_program(program, max_instructions=100_000_000)
+        assert result.ok, result.describe()
+        return result.stats
+
+    stats = benchmark.pedantic(execute, rounds=1, iterations=1)
+    benchmark.extra_info["cycles"] = stats.cycles
+
+
+@pytest.mark.parametrize("capacity", [None, 4096],
+                         ids=["full-regions", "tiny-regions"])
+def test_lowfat_region_capacity(benchmark, capacity):
+    benchmark.group = "ablation:lf-region-capacity"
+    workload = get("197parser")
+    program = compile_program(
+        workload.sources, InstrumentationConfig.lowfat(),
+        CompileOptions(
+            obfuscate_pointer_copies=tuple(workload.obfuscated_units)
+        ),
+    )
+
+    def execute():
+        result = run_program(program, max_instructions=100_000_000,
+                             lf_region_capacity=capacity)
+        assert result.ok, result.describe()
+        return result.stats
+
+    stats = benchmark.pedantic(execute, rounds=1, iterations=1)
+    benchmark.extra_info["unsafe_percent"] = round(stats.unsafe_percent, 2)
+    benchmark.extra_info["fallbacks"] = stats.lowfat_fallback_allocs
+
+
+def test_print_ablations(benchmark, capsys):
+    from repro.experiments import ablation
+
+    table = benchmark.pedantic(ablation.generate, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(table)

@@ -1,0 +1,27 @@
+"""Section 5.4 bench: overhead attribution (checks vs metadata)."""
+
+import pytest
+
+from conftest import run_benchmark
+
+ATTRIBUTION_SET = ("183equake", "197parser", "464h264ref", "186crafty")
+
+
+@pytest.mark.parametrize("name", ATTRIBUTION_SET)
+@pytest.mark.parametrize("label", ["softbound", "lowfat"])
+def test_attribution_driver(benchmark, name, label):
+    benchmark.group = f"breakdown:{name}"
+    stats = run_benchmark(benchmark, name, label)
+    benchmark.extra_info["trie_loads"] = stats.trie_loads
+    benchmark.extra_info["trie_stores"] = stats.trie_stores
+    benchmark.extra_info["shadow_stack_ops"] = stats.shadow_stack_ops
+    benchmark.extra_info["invariant_checks"] = stats.invariant_checks
+
+
+def test_print_breakdown(benchmark, capsys):
+    from repro.experiments import breakdown
+
+    table = benchmark.pedantic(breakdown.generate, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(table)

@@ -1,0 +1,32 @@
+"""Figure 10 bench: SoftBound optimized / unoptimized / metadata-only."""
+
+import pytest
+
+from conftest import SUBSET, run_benchmark
+
+
+@pytest.mark.parametrize("name", SUBSET)
+@pytest.mark.parametrize(
+    "label", ["softbound", "softbound-unopt", "softbound-meta"]
+)
+def test_softbound_config(benchmark, name, label):
+    benchmark.group = f"fig10:{name}"
+    run_benchmark(benchmark, name, label)
+
+
+def test_print_figure10(benchmark, runner, capsys):
+    from repro.experiments import fig10
+    from repro.workloads import get
+
+    table = benchmark.pedantic(lambda: fig10.generate(runner),
+                               rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(table)
+    # shape: metadata propagation dominates the trie-heavy benchmarks
+    parser_meta = runner.overhead(get("197parser"), "softbound-meta")
+    parser_full = runner.overhead(get("197parser"), "softbound")
+    assert parser_meta - 1.0 > 0.5 * (parser_full - 1.0)
+    # shape: equake's metadata-only cost is deceptively low (DCE'd)
+    equake_meta = runner.overhead(get("183equake"), "softbound-meta")
+    assert equake_meta < 1.15

@@ -1,0 +1,27 @@
+"""Figure 11 bench: Low-Fat optimized / unoptimized / metadata-only."""
+
+import pytest
+
+from conftest import SUBSET, run_benchmark
+
+
+@pytest.mark.parametrize("name", SUBSET)
+@pytest.mark.parametrize("label", ["lowfat", "lowfat-unopt", "lowfat-meta"])
+def test_lowfat_config(benchmark, name, label):
+    benchmark.group = f"fig11:{name}"
+    run_benchmark(benchmark, name, label)
+
+
+def test_print_figure11(benchmark, runner, capsys):
+    from repro.experiments import fig11
+    from repro.workloads import get
+
+    table = benchmark.pedantic(lambda: fig11.generate(runner),
+                               rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(table)
+    # shape: the metadata config carries Low-Fat's escape checks
+    parser = runner.run(get("197parser"), "lowfat-meta")
+    assert parser.invariant_checks > 0
+    assert parser.checks_executed == 0

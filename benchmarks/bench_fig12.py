@@ -1,0 +1,36 @@
+"""Figure 12 bench: SoftBound at the three pipeline extension points."""
+
+import pytest
+
+from repro.opt.pipeline import EXTENSION_POINTS
+
+from conftest import SUBSET, run_benchmark
+
+
+@pytest.mark.parametrize("name", SUBSET)
+@pytest.mark.parametrize("ep", EXTENSION_POINTS)
+def test_softbound_extension_point(benchmark, name, ep):
+    benchmark.group = f"fig12:{name}"
+    run_benchmark(benchmark, name, "softbound", extension_point=ep)
+
+
+def test_print_figure12(benchmark, runner, capsys):
+    from repro.experiments import fig12_13
+    from repro.experiments.common import geomean
+    from repro.workloads import all_workloads
+
+    table = benchmark.pedantic(lambda: fig12_13.generate_fig12(runner),
+                               rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(table)
+    # shape: early instrumentation is clearly slower on average
+    early = geomean(
+        runner.overhead(w, "softbound", "ModuleOptimizerEarly")
+        for w in all_workloads()
+    )
+    late = geomean(
+        runner.overhead(w, "softbound", "VectorizerStart")
+        for w in all_workloads()
+    )
+    assert early > late * 1.08

@@ -1,0 +1,35 @@
+"""Figure 13 bench: Low-Fat Pointers at the three extension points."""
+
+import pytest
+
+from repro.opt.pipeline import EXTENSION_POINTS
+
+from conftest import SUBSET, run_benchmark
+
+
+@pytest.mark.parametrize("name", SUBSET)
+@pytest.mark.parametrize("ep", EXTENSION_POINTS)
+def test_lowfat_extension_point(benchmark, name, ep):
+    benchmark.group = f"fig13:{name}"
+    run_benchmark(benchmark, name, "lowfat", extension_point=ep)
+
+
+def test_print_figure13(benchmark, runner, capsys):
+    from repro.experiments import fig12_13
+    from repro.experiments.common import geomean
+    from repro.workloads import all_workloads
+
+    table = benchmark.pedantic(lambda: fig12_13.generate_fig13(runner),
+                               rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(table)
+    early = geomean(
+        runner.overhead(w, "lowfat", "ModuleOptimizerEarly")
+        for w in all_workloads()
+    )
+    late = geomean(
+        runner.overhead(w, "lowfat", "VectorizerStart")
+        for w in all_workloads()
+    )
+    assert early > late * 1.05

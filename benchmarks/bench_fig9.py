@@ -1,0 +1,40 @@
+"""Figure 9 bench: SoftBound vs Low-Fat execution time on every
+benchmark, normalized to the uninstrumented -O3 build.
+
+``pytest benchmarks/bench_fig9.py --benchmark-only`` times all 20
+workloads under baseline / SoftBound / Low-Fat; the summary entry
+prints the paper-style overhead table from the deterministic cycle
+counts.
+"""
+
+import pytest
+
+from conftest import ALL_BENCHMARKS, run_benchmark
+
+
+@pytest.mark.parametrize("name", ALL_BENCHMARKS)
+def test_baseline(benchmark, name):
+    benchmark.group = f"fig9:{name}"
+    run_benchmark(benchmark, name, "baseline")
+
+
+@pytest.mark.parametrize("name", ALL_BENCHMARKS)
+def test_softbound(benchmark, name):
+    benchmark.group = f"fig9:{name}"
+    run_benchmark(benchmark, name, "softbound")
+
+
+@pytest.mark.parametrize("name", ALL_BENCHMARKS)
+def test_lowfat(benchmark, name):
+    benchmark.group = f"fig9:{name}"
+    run_benchmark(benchmark, name, "lowfat")
+
+
+def test_print_figure9(benchmark, runner, capsys):
+    from repro.experiments import fig9
+
+    table = benchmark.pedantic(lambda: fig9.generate(runner),
+                               rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(table)

@@ -1,0 +1,36 @@
+"""Section 5.3 bench: dominance check elimination (static + runtime)."""
+
+import pytest
+
+from conftest import run_benchmark
+
+PAIRED = ("256bzip2", "197parser", "183equake", "177mesa")
+
+
+@pytest.mark.parametrize("name", PAIRED)
+@pytest.mark.parametrize("label", ["softbound", "softbound-unopt"])
+def test_opt_vs_unopt(benchmark, name, label):
+    benchmark.group = f"optstats:{name}"
+    run_benchmark(benchmark, name, label)
+
+
+def test_print_optstats(benchmark, runner, capsys):
+    from repro.experiments import optstats
+    from repro.workloads import all_workloads
+
+    table = benchmark.pedantic(lambda: optstats.generate(runner),
+                               rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(table)
+    # shape: a significant static fraction of checks is removed, and
+    # the runtime gain is minor (the compiler removes duplicates too)
+    fractions = []
+    for workload in all_workloads():
+        result = runner.run(workload, "softbound")
+        fractions.append(result.static.filtered_fraction)
+        unopt = runner.overhead(workload, "softbound-unopt")
+        opt = runner.overhead(workload, "softbound")
+        assert opt <= unopt + 1e-9
+        assert unopt - opt < 0.25          # minor runtime impact
+    assert max(fractions) > 0.2            # up to tens of percent removed

@@ -1,0 +1,55 @@
+"""Table 1 bench: static instrumentation-target counts per task.
+
+Times the *instrumentation pass itself* (gather + filter + lower) per
+workload, and prints the quantitative Table 1 counterpart.
+"""
+
+import pytest
+
+from repro.core import InstrumentationConfig, MemInstrumentPass
+from repro.driver import CompileOptions
+from repro.frontend import compile_source
+from repro.ir import Module
+from repro.opt import build_pipeline
+from repro.workloads import get
+
+from conftest import SUBSET
+
+
+def _prepared_module(name):
+    workload = get(name)
+    modules = []
+    for unit_name, source in workload.sources.items():
+        mod = compile_source(source, unit_name)
+        build_pipeline(3).run(mod)
+        modules.append(mod)
+    return modules
+
+
+@pytest.mark.parametrize("name", SUBSET)
+@pytest.mark.parametrize("approach", ["softbound", "lowfat"])
+def test_instrumentation_pass_speed(benchmark, name, approach):
+    benchmark.group = f"table1:{name}"
+    config = (InstrumentationConfig.softbound() if approach == "softbound"
+              else InstrumentationConfig.lowfat())
+
+    def instrument_fresh():
+        total = 0
+        for mod in _prepared_module(name):
+            pass_ = MemInstrumentPass(config)
+            pass_.run(mod)
+            total += pass_.statistics.gathered_checks
+        return total
+
+    checks = benchmark.pedantic(instrument_fresh, rounds=1, iterations=1)
+    benchmark.extra_info["gathered_checks"] = checks
+
+
+def test_print_table1(benchmark, runner, capsys):
+    from repro.experiments import table1
+
+    table = benchmark.pedantic(lambda: table1.generate(runner),
+                               rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(table)

@@ -1,0 +1,38 @@
+"""Table 2 bench: unsafe (wide-bounds) dereference percentages.
+
+The timing entries run the workloads whose characteristics drive the
+table (size-less extern arrays, the >1 GiB allocation); the summary
+prints the full 20-benchmark table and asserts the paper's headline
+shapes.
+"""
+
+import pytest
+
+from conftest import run_benchmark
+
+DRIVERS = ("164gzip", "429mcf", "433milc", "197parser", "300twolf")
+
+
+@pytest.mark.parametrize("name", DRIVERS)
+@pytest.mark.parametrize("label", ["softbound", "lowfat"])
+def test_table2_driver(benchmark, name, label):
+    benchmark.group = f"table2:{name}"
+    run_benchmark(benchmark, name, label)
+
+
+def test_print_table2(benchmark, runner, capsys):
+    from repro.experiments import table2
+    from repro.workloads import get
+
+    table = benchmark.pedantic(lambda: table2.generate(runner),
+                               rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(table)
+    # headline shapes (paper Section 4.6)
+    gzip_sb = runner.run(get("164gzip"), "softbound")
+    assert gzip_sb.unsafe_percent > 40.0
+    mcf_lf = runner.run(get("429mcf"), "lowfat")
+    assert mcf_lf.unsafe_percent > 35.0
+    milc_sb = runner.run(get("433milc"), "softbound")
+    assert milc_sb.checks_wide == 0

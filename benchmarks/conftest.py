@@ -1,0 +1,85 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``bench_*.py`` file regenerates one table or figure of the paper:
+
+* pytest-benchmark entries measure the *wall time* of executing the
+  (instrumented) workload on the VM -- compilation excluded;
+* one summary entry per file prints the paper-style table computed from
+  the deterministic cycle counts (the numbers EXPERIMENTS.md quotes).
+
+Programs are compiled once per (workload, configuration, extension
+point) and cached for the whole benchmark session; each timing round
+executes a fresh VM over the cached module.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import pytest
+
+from repro.driver import CompileOptions, CompiledProgram, compile_program, make_vm
+from repro.experiments.common import Runner, config_for
+from repro.workloads import get
+
+_PROGRAM_CACHE: Dict[Tuple[str, str, str], CompiledProgram] = {}
+
+
+def compiled(workload_name: str, label: str,
+             extension_point: str = "VectorizerStart") -> CompiledProgram:
+    key = (workload_name, label, extension_point)
+    program = _PROGRAM_CACHE.get(key)
+    if program is None:
+        workload = get(workload_name)
+        config = config_for(label)
+        options = CompileOptions(
+            extension_point=extension_point,
+            obfuscate_pointer_copies=tuple(workload.obfuscated_units),
+        )
+        if config is None:
+            program = compile_program(workload.sources, options=options)
+        else:
+            program = compile_program(workload.sources, config, options)
+        _PROGRAM_CACHE[key] = program
+    return program
+
+
+def execute(program: CompiledProgram):
+    vm = make_vm(program, max_instructions=100_000_000)
+    code = vm.run()
+    assert code == 0, f"workload exited with {code}"
+    return vm.stats
+
+
+def run_benchmark(benchmark, workload_name: str, label: str,
+                  extension_point: str = "VectorizerStart"):
+    program = compiled(workload_name, label, extension_point)
+    stats = benchmark.pedantic(
+        lambda: execute(program), rounds=1, iterations=1, warmup_rounds=0
+    )
+    benchmark.extra_info["cycles"] = stats.cycles
+    benchmark.extra_info["checks"] = stats.checks_executed
+    benchmark.extra_info["unsafe_percent"] = round(stats.unsafe_percent, 2)
+    return stats
+
+
+@pytest.fixture(scope="session")
+def runner():
+    """Session-wide experiment runner (cycle-based tables)."""
+    return Runner()
+
+
+#: Representative subset used by the heavier figures to keep the
+#: benchmark suite's total runtime reasonable; the printed tables and
+#: EXPERIMENTS.md always cover all 20.
+SUBSET = (
+    "164gzip", "183equake", "186crafty", "197parser",
+    "429mcf", "464h264ref", "470lbm", "482sphinx3",
+)
+
+ALL_BENCHMARKS = (
+    "164gzip", "177mesa", "179art", "181mcf", "183equake", "186crafty",
+    "188ammp", "197parser", "256bzip2", "300twolf", "401bzip2", "429mcf",
+    "433milc", "445gobmk", "456hmmer", "458sjeng", "462libquantum",
+    "464h264ref", "470lbm", "482sphinx3",
+)

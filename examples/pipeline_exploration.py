@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Explore how the compiler pipeline interacts with instrumentation.
+
+For two contrasting workloads (pointer-chasing 183equake and
+check-dense 186crafty), this example measures:
+
+* the overhead of each approach at the three pipeline extension points
+  (paper Figures 12/13: early instrumentation blocks optimization);
+* the optimized / unoptimized / metadata-only configurations
+  (paper Figures 10/11);
+* where the cycles go (checks vs trie vs shadow stack).
+
+Run with:  python examples/pipeline_exploration.py
+"""
+
+from repro.experiments.common import Runner
+from repro.opt.pipeline import EXTENSION_POINTS
+from repro.workloads import get
+
+WORKLOADS = ("183equake", "186crafty")
+
+
+def main():
+    runner = Runner()
+    for name in WORKLOADS:
+        workload = get(name)
+        base = runner.baseline(workload)
+        print(f"== {name}: {workload.description}")
+        print(f"   baseline: {base.cycles} cycles, output {base.output}")
+
+        print("   extension points (overhead vs -O3):")
+        for approach in ("softbound", "lowfat"):
+            row = "  ".join(
+                f"{ep.replace('Optimizer', 'Opt')}={runner.overhead(workload, approach, ep):.2f}x"
+                for ep in EXTENSION_POINTS
+            )
+            print(f"     {approach:9s} {row}")
+
+        print("   configurations (overhead vs -O3):")
+        for approach in ("softbound", "lowfat"):
+            opt = runner.overhead(workload, approach)
+            unopt = runner.overhead(workload, f"{approach}-unopt")
+            meta = runner.overhead(workload, f"{approach}-meta")
+            print(f"     {approach:9s} optimized={opt:.2f}x "
+                  f"unoptimized={unopt:.2f}x metadata-only={meta:.2f}x")
+
+        print("   dynamic profile (optimized configs):")
+        for approach in ("softbound", "lowfat"):
+            r = runner.run(workload, approach)
+            print(f"     {approach:9s} checks={r.checks_executed} "
+                  f"invariant-checks={r.invariant_checks} "
+                  f"trie={r.trie_loads}L/{r.trie_stores}S "
+                  f"shadow-stack={r.shadow_stack_ops}")
+        print()
+
+    print("Reading the numbers:")
+    print(" * equake loads row pointers in its hot loop: SoftBound pays a")
+    print("   trie lookup per pointer load and loses to Low-Fat there.")
+    print(" * crafty is check-dense integer code: SoftBound's shorter check")
+    print("   sequence wins.")
+    print(" * instrumenting at ModuleOptimizerEarly is slower than at the")
+    print("   late points: checks block inlining, load CSE and LICM.")
+
+
+if __name__ == "__main__":
+    main()

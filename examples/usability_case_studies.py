@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""The paper's Section 4 usability case studies, executable.
+
+Each case runs one small C program under SoftBound and Low-Fat Pointers
+and prints which tool (wrongly or rightly) complains:
+
+* out-of-bounds pointer arithmetic that is brought back in bounds
+  (Section 4.2) -- valid-by-expectation C that Low-Fat rejects;
+* the Figure 7 ``swap`` whose translation unit moves pointers through
+  integer loads/stores -- SoftBound's trie goes stale, spurious report;
+* a byte-wise pointer copy (Section 4.5) -- same failure, and the
+  memcpy fix that repairs it;
+* a >1 GiB allocation (Section 4.6) -- Low-Fat silently stops checking.
+
+Run with:  python examples/usability_case_studies.py
+"""
+
+from repro import CompileOptions, compile_program, run_program
+from repro.core import InstrumentationConfig
+
+SB = InstrumentationConfig.softbound()
+LF = InstrumentationConfig.lowfat()
+
+
+def verdict(result):
+    if result.violation is not None:
+        return f"REPORTS {result.violation.kind} violation"
+    if result.fault is not None:
+        return "crashes (hardware fault)"
+    return f"runs fine, output {result.output}"
+
+
+def show(title, sources, options=None, note=""):
+    options = options or CompileOptions()
+    print(f"-- {title}")
+    if note:
+        print(f"   {note}")
+    for name, config in (("SoftBound", SB), ("Low-Fat  ", LF)):
+        program = compile_program(sources, config, options)
+        result = run_program(program, max_instructions=5_000_000)
+        print(f"   {name}: {verdict(result)}")
+    print()
+
+
+def main():
+    print("Usability case studies (paper Section 4)\n")
+
+    show(
+        "4.2: out-of-bounds pointer arithmetic, back in bounds before use",
+        {
+            "lib.c": "long use(int *p) { return p[1]; }",
+            "main.c": r"""
+                long use(int *p);
+                int main() {
+                    int *a = (int *) malloc(sizeof(int) * 8);
+                    a[0] = 5;
+                    print_i64(use(a - 1));   // 73% of C experts expect this to work
+                    free((void*)a);
+                    return 0;
+                }""",
+        },
+        note="Low-Fat's escape invariant fires on the out-of-bounds "
+             "pointer itself, before any access happens.",
+    )
+
+    swap_sources = {
+        "swap.c": r"""
+            void swap(double **one, double **two) {
+                double *tmp = *one;
+                *one = *two;
+                *two = tmp;
+            }""",
+        "main.c": r"""
+            void swap(double **one, double **two);
+            double ga; double gb;
+            int main() {
+                double *pa = &ga; double *pb = &gb;
+                ga = 1.5; gb = 2.5;
+                swap(&pa, &pb);
+                print_f64(*pa + *pb);
+                return 0;
+            }""",
+    }
+    show(
+        "4.4 / Figure 7: swap compiled with integer-obfuscated pointer moves",
+        swap_sources,
+        options=CompileOptions(obfuscate_pointer_copies=["swap.c"]),
+        note="One compiler version moves the pointers through i64 "
+             "loads/stores; SoftBound's trie never sees the swap and "
+             "keeps stale bounds.",
+    )
+    show(
+        "4.4 control: the same swap, cleanly translated",
+        swap_sources,
+    )
+
+    bytewise = r"""
+        int main() {
+            long x = 77;
+            long *src = &x;
+            long *dst;
+            char *from = (char *) &src;
+            char *to = (char *) &dst;
+            for (int i = 0; i < 8; i++) to[i] = from[i];
+            print_i64(*dst);
+            return 0;
+        }"""
+    show(
+        "4.5: byte-wise pointer copy (legal C, invisible to the trie)",
+        {"main.c": bytewise},
+    )
+    show(
+        "4.5 fixed: the same copy through memcpy (wrapper moves metadata)",
+        {"main.c": bytewise.replace(
+            "for (int i = 0; i < 8; i++) to[i] = from[i];",
+            "memcpy((void*)to, (void*)from, 8);")},
+    )
+
+    huge = {
+        "main.c": r"""
+            int main() {
+                char *big = (char *) malloc(1073741824);   // 1 GiB
+                big[0] = 1;
+                big[1073741823] = 2;
+                print_i64(big[0] + big[1073741823]);
+                free((void*)big);
+                return 0;
+            }""",
+    }
+    print("-- 4.6: one allocation above the largest low-fat class (1 GiB)")
+    for name, config in (("SoftBound", SB), ("Low-Fat  ", LF)):
+        program = compile_program(huge, config)
+        result = run_program(program, max_instructions=5_000_000)
+        wide = result.stats.checks_wide
+        total = result.stats.checks_executed
+        print(f"   {name}: {verdict(result)}; "
+              f"{wide}/{total} checks used wide (unchecked) bounds")
+    print("   (Low-Fat falls back to the standard allocator: the object "
+          "is effectively unprotected, cf. Table 2's 429mcf.)")
+
+
+if __name__ == "__main__":
+    main()

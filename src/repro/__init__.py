@@ -1,0 +1,62 @@
+"""Reproduction of "Memory Safety Instrumentations in Practice:
+Usability, Performance, and Security Guarantees" (CGO'25).
+
+A MemInstrument-style instrumentation framework implementing SoftBound
+and Low-Fat Pointers over a from-scratch mini-IR compiler (MiniC
+frontend, SSA optimizer with extension points) and a deterministic
+virtual machine with a simulated 64-bit address space.
+
+Quickstart::
+
+    from repro import compile_program, run_program
+    from repro.core import InstrumentationConfig
+
+    src = '''
+    int main() {
+        int *a = (int*) malloc(sizeof(int) * 4);
+        a[4] = 1;              // out of bounds!
+        return 0;
+    }
+    '''
+    result = run_program(compile_program(src, InstrumentationConfig.softbound()))
+    print(result.describe())   # -> violation: ...
+"""
+
+from .driver import (
+    CompileOptions,
+    CompiledProgram,
+    NOOP,
+    RunResult,
+    compile_and_run,
+    compile_program,
+    make_vm,
+    run_program,
+)
+from .errors import (
+    CompileError,
+    MemoryFault,
+    MemSafetyViolation,
+    ProgramAbort,
+    ReproError,
+    VMError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CompileError",
+    "CompileOptions",
+    "CompiledProgram",
+    "MemSafetyViolation",
+    "MemoryFault",
+    "NOOP",
+    "ProgramAbort",
+    "ReproError",
+    "RunResult",
+    "VMError",
+    "compile_and_run",
+    "compile_program",
+    "make_vm",
+    "run_program",
+    "__version__",
+]

@@ -1,0 +1,14 @@
+"""Program analyses: CFG utilities, dominators, natural loops."""
+
+from .cfg import predecessor_map, reachable_blocks, reverse_postorder
+from .dominators import DominatorTree
+from .loops import Loop, LoopInfo
+
+__all__ = [
+    "DominatorTree",
+    "Loop",
+    "LoopInfo",
+    "predecessor_map",
+    "reachable_blocks",
+    "reverse_postorder",
+]

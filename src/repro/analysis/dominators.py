@@ -1,0 +1,143 @@
+"""Dominator tree construction (Cooper/Harvey/Kennedy algorithm).
+
+Dominance is the backbone of the mini-compiler: mem2reg uses the
+dominance frontier to place phi nodes, the verifier uses dominance to
+check SSA well-formedness, and the paper's check-elimination
+optimization (Section 5.3) removes a check when an *equivalent check
+dominates it*.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set
+
+from ..ir.instructions import Instruction, Phi
+from ..ir.module import BasicBlock, Function
+from ..ir.values import Value
+from .cfg import predecessor_map, reverse_postorder
+
+
+class DominatorTree:
+    def __init__(self, fn: Function):
+        self.function = fn
+        self.rpo: List[BasicBlock] = reverse_postorder(fn)
+        self._rpo_index: Dict[BasicBlock, int] = {
+            b: i for i, b in enumerate(self.rpo)
+        }
+        self.idom: Dict[BasicBlock, Optional[BasicBlock]] = {}
+        self._children: Dict[BasicBlock, List[BasicBlock]] = {}
+        self._depth: Dict[BasicBlock, int] = {}
+        if self.rpo:
+            self._compute()
+
+    # -- construction ---------------------------------------------------
+    def _compute(self) -> None:
+        entry = self.rpo[0]
+        preds = predecessor_map(self.function)
+        idom: Dict[BasicBlock, Optional[BasicBlock]] = {entry: entry}
+
+        def intersect(a: BasicBlock, b: BasicBlock) -> BasicBlock:
+            while a is not b:
+                while self._rpo_index[a] > self._rpo_index[b]:
+                    a = idom[a]  # type: ignore[assignment]
+                while self._rpo_index[b] > self._rpo_index[a]:
+                    b = idom[b]  # type: ignore[assignment]
+            return a
+
+        changed = True
+        while changed:
+            changed = False
+            for block in self.rpo[1:]:
+                candidates = [
+                    p for p in preds.get(block, []) if p in idom and p in self._rpo_index
+                ]
+                if not candidates:
+                    continue
+                new_idom = candidates[0]
+                for p in candidates[1:]:
+                    new_idom = intersect(new_idom, p)
+                if idom.get(block) is not new_idom:
+                    idom[block] = new_idom
+                    changed = True
+
+        idom[entry] = None
+        self.idom = idom
+        self._children = {b: [] for b in self.rpo}
+        for block, parent in idom.items():
+            if parent is not None:
+                self._children[parent].append(block)
+        self._depth[entry] = 0
+        stack = [entry]
+        while stack:
+            block = stack.pop()
+            for child in self._children[block]:
+                self._depth[child] = self._depth[block] + 1
+                stack.append(child)
+
+    # -- queries -----------------------------------------------------------
+    def is_reachable(self, block: BasicBlock) -> bool:
+        return block in self._rpo_index
+
+    def dominates_block(self, a: BasicBlock, b: BasicBlock) -> bool:
+        """True if block ``a`` dominates block ``b`` (reflexive)."""
+        if not self.is_reachable(a) or not self.is_reachable(b):
+            return False
+        runner: Optional[BasicBlock] = b
+        while runner is not None:
+            if runner is a:
+                return True
+            runner = self.idom.get(runner)
+        return False
+
+    def strictly_dominates_block(self, a: BasicBlock, b: BasicBlock) -> bool:
+        return a is not b and self.dominates_block(a, b)
+
+    def dominates(self, a: Instruction, b: Instruction) -> bool:
+        """True if instruction ``a`` dominates instruction ``b``.
+
+        Within one block this is program order; across blocks it is
+        block dominance.  An instruction does not dominate itself.
+        """
+        ba, bb = a.parent, b.parent
+        assert ba is not None and bb is not None
+        if ba is bb:
+            return ba.index_of(a) < bb.index_of(b)
+        return self.strictly_dominates_block(ba, bb)
+
+    def value_dominates_use(self, value: Value, user: Instruction, operand_index: int) -> bool:
+        """True if ``value`` is available where ``user`` consumes it.
+
+        Non-instruction values (constants, arguments, globals,
+        functions) are available everywhere.  For phi users, the value
+        must dominate the *end of the incoming block*, not the phi.
+        """
+        if not isinstance(value, Instruction):
+            return True
+        if isinstance(user, Phi):
+            incoming = user.incoming_blocks[operand_index]
+            defining = value.parent
+            assert defining is not None
+            return self.dominates_block(defining, incoming)
+        return self.dominates(value, user)
+
+    def children(self, block: BasicBlock) -> List[BasicBlock]:
+        return list(self._children.get(block, []))
+
+    def depth(self, block: BasicBlock) -> int:
+        return self._depth.get(block, -1)
+
+    # -- dominance frontier -------------------------------------------------
+    def dominance_frontier(self) -> Dict[BasicBlock, Set[BasicBlock]]:
+        """Dominance frontier of every reachable block."""
+        frontier: Dict[BasicBlock, Set[BasicBlock]] = {b: set() for b in self.rpo}
+        preds = predecessor_map(self.function)
+        for block in self.rpo:
+            block_preds = [p for p in preds.get(block, []) if self.is_reachable(p)]
+            if len(block_preds) < 2:
+                continue
+            for pred in block_preds:
+                runner: Optional[BasicBlock] = pred
+                while runner is not None and runner is not self.idom[block]:
+                    frontier[runner].add(block)
+                    runner = self.idom[runner]
+        return frontier

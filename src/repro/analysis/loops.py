@@ -1,0 +1,119 @@
+"""Natural loop detection.
+
+LICM (and the pipeline experiments of Section 5.5) need loop structure:
+a back edge ``latch -> header`` where the header dominates the latch
+defines a natural loop, whose body is everything that can reach the
+latch without passing through the header.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from ..ir.module import BasicBlock, Function
+from .cfg import predecessor_map
+from .dominators import DominatorTree
+
+
+class Loop:
+    def __init__(self, header: BasicBlock):
+        self.header = header
+        self.blocks: Set[BasicBlock] = {header}
+        self.parent: Optional["Loop"] = None
+        self.subloops: List["Loop"] = []
+
+    def contains(self, block: BasicBlock) -> bool:
+        return block in self.blocks
+
+    @property
+    def depth(self) -> int:
+        d, loop = 1, self.parent
+        while loop is not None:
+            d += 1
+            loop = loop.parent
+        return d
+
+    def exit_blocks(self) -> List[BasicBlock]:
+        """Blocks outside the loop that are branched to from inside."""
+        exits: List[BasicBlock] = []
+        for block in self.blocks:
+            for succ in block.successors:
+                if succ not in self.blocks and succ not in exits:
+                    exits.append(succ)
+        return exits
+
+    def preheader(self) -> Optional[BasicBlock]:
+        """The unique out-of-loop predecessor of the header, if any."""
+        assert self.header.parent is not None
+        preds = [
+            p for p in self.header.predecessors if p not in self.blocks
+        ]
+        if len(preds) == 1 and len(preds[0].successors) == 1:
+            return preds[0]
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Loop header={self.header.name} blocks={len(self.blocks)}>"
+
+
+class LoopInfo:
+    """All natural loops of a function, nested."""
+
+    def __init__(self, fn: Function, domtree: Optional[DominatorTree] = None):
+        self.function = fn
+        self.domtree = domtree or DominatorTree(fn)
+        self.loops: List[Loop] = []
+        self._loop_of: Dict[BasicBlock, Loop] = {}
+        self._find_loops()
+
+    def _find_loops(self) -> None:
+        preds = predecessor_map(self.function)
+        # Find headers via back edges, process in dominance order so
+        # outer loops are discovered before inner ones.
+        headers: Dict[BasicBlock, List[BasicBlock]] = {}
+        for block in self.domtree.rpo:
+            for succ in block.successors:
+                if self.domtree.dominates_block(succ, block):
+                    headers.setdefault(succ, []).append(block)
+
+        for header in self.domtree.rpo:
+            if header not in headers:
+                continue
+            loop = Loop(header)
+            worklist = list(headers[header])
+            while worklist:
+                block = worklist.pop()
+                if block in loop.blocks:
+                    continue
+                loop.blocks.add(block)
+                worklist.extend(
+                    p for p in preds.get(block, []) if self.domtree.is_reachable(p)
+                )
+            # Nest into the innermost existing loop containing the header.
+            enclosing = self._loop_of.get(header)
+            if enclosing is not None:
+                loop.parent = enclosing
+                enclosing.subloops.append(loop)
+            else:
+                self.loops.append(loop)
+            for block in loop.blocks:
+                current = self._loop_of.get(block)
+                if current is None or loop.header is not block and current.contains(loop.header):
+                    self._loop_of[block] = loop
+            self._loop_of[header] = loop
+
+    def loop_of(self, block: BasicBlock) -> Optional[Loop]:
+        return self._loop_of.get(block)
+
+    def all_loops(self) -> List[Loop]:
+        result: List[Loop] = []
+        stack = list(self.loops)
+        while stack:
+            loop = stack.pop()
+            result.append(loop)
+            stack.extend(loop.subloops)
+        return result
+
+    def loop_depth(self, block: BasicBlock) -> int:
+        loop = self._loop_of.get(block)
+        return loop.depth if loop is not None else 0

@@ -1,0 +1,168 @@
+"""Command-line driver, mirroring the paper artifact's usage.
+
+The artifact wraps clang with MemInstrument flags; this CLI does the
+same for the reproduction::
+
+    python -m repro run  prog.c lib.c -mi-config=softbound -mi-opt-dominance
+    python -m repro run  prog.c -mi-config=lowfat --extension-point ModuleOptimizerEarly
+    python -m repro emit prog.c -mi-config=softbound      # print final IR
+    python -m repro bench 183equake -mi-config=lowfat     # run a workload
+
+``-mi-*`` flags use the artifact's exact syntax (Appendix A.6) and are
+parsed by :meth:`InstrumentationConfig.from_flags`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core.config import InstrumentationConfig
+from .driver import CompileOptions, compile_program, run_program
+from .errors import ReproError
+from .ir.printer import format_module
+from .opt.pipeline import EXTENSION_POINTS
+
+
+def _split_mi_flags(argv: List[str]):
+    mi_flags = [a for a in argv if a.startswith("-mi-")]
+    rest = [a for a in argv if not a.startswith("-mi-")]
+    return mi_flags, rest
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MemInstrument reproduction driver "
+                    "(SoftBound / Low-Fat Pointers on the mini-IR stack)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("-O", dest="opt_level", type=int, default=3,
+                       choices=(0, 1, 2, 3), help="optimization level")
+        p.add_argument("--extension-point", default="VectorizerStart",
+                       choices=EXTENSION_POINTS,
+                       help="where the instrumentation runs in the pipeline")
+        p.add_argument("--no-lto", action="store_true",
+                       help="skip link-time optimization")
+        p.add_argument("--verify", action="store_true",
+                       help="verify the IR after every pass")
+
+    run_p = sub.add_parser("run", help="compile, instrument, and execute")
+    run_p.add_argument("files", nargs="+", help="MiniC source files")
+    common(run_p)
+    run_p.add_argument("--entry", default="main")
+    run_p.add_argument("--max-instructions", type=int, default=500_000_000)
+    run_p.add_argument("--stats", action="store_true",
+                       help="print the runtime statistics summary")
+
+    emit_p = sub.add_parser("emit", help="print the final (instrumented) IR")
+    emit_p.add_argument("files", nargs="+", help="MiniC source files")
+    common(emit_p)
+
+    bench_p = sub.add_parser("bench", help="run one workload benchmark")
+    bench_p.add_argument("workload", help="benchmark name, e.g. 183equake")
+    common(bench_p)
+    bench_p.add_argument("--compare-baseline", action="store_true",
+                         help="also run uninstrumented and print overhead")
+    return parser
+
+
+def _load_sources(paths: List[str]):
+    sources = {}
+    for path in paths:
+        with open(path) as handle:
+            sources[path] = handle.read()
+    return sources
+
+
+def _config_from(mi_flags: List[str]) -> InstrumentationConfig:
+    if not mi_flags:
+        return InstrumentationConfig(approach="noop")
+    return InstrumentationConfig.from_flags(mi_flags)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    mi_flags, rest = _split_mi_flags(argv)
+    parser = _build_parser()
+    args = parser.parse_args(rest)
+    try:
+        config = _config_from(mi_flags)
+    except ValueError as exc:
+        parser.error(str(exc))
+
+    options_kwargs = dict(
+        opt_level=args.opt_level,
+        extension_point=args.extension_point,
+        link_time_optimization=not args.no_lto,
+        verify=args.verify,
+    )
+
+    try:
+        if args.command == "run":
+            program = compile_program(
+                _load_sources(args.files), config,
+                CompileOptions(**options_kwargs),
+            )
+            result = run_program(program, entry=args.entry,
+                                 max_instructions=args.max_instructions)
+            for line in result.output:
+                print(line)
+            if not result.ok:
+                print(result.describe(), file=sys.stderr)
+            if args.stats:
+                print(result.stats.summary(), file=sys.stderr)
+            if result.violation is not None or result.abort is not None:
+                return 134
+            if result.fault is not None:
+                return 139
+            return result.exit_code or 0
+
+        if args.command == "emit":
+            program = compile_program(
+                _load_sources(args.files), config,
+                CompileOptions(**options_kwargs),
+            )
+            print(format_module(program.module), end="")
+            return 0
+
+        if args.command == "bench":
+            from .workloads import all_names, get
+
+            if args.workload not in all_names():
+                parser.error(
+                    f"unknown workload {args.workload!r}; "
+                    f"choose from {', '.join(all_names())}"
+                )
+            workload = get(args.workload)
+            opts = CompileOptions(
+                obfuscate_pointer_copies=tuple(workload.obfuscated_units),
+                **options_kwargs,
+            )
+            program = compile_program(workload.sources, config, opts)
+            result = run_program(program, max_instructions=100_000_000)
+            print(f"{args.workload}: {result.describe()}  "
+                  f"cycles={result.stats.cycles}")
+            if result.stats.checks_executed:
+                print(f"checks: {result.stats.checks_executed} "
+                      f"({result.stats.unsafe_percent:.2f}% wide)")
+            if args.compare_baseline:
+                base = compile_program(workload.sources, options=opts)
+                base_result = run_program(base, max_instructions=100_000_000)
+                print(f"baseline cycles={base_result.stats.cycles}  "
+                      f"overhead={result.stats.cycles / base_result.stats.cycles:.2f}x")
+            return 0 if result.ok else 1
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

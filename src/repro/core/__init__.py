@@ -1,0 +1,31 @@
+"""MemInstrument core: the instrumentation framework (paper Section 3)."""
+
+from .config import InstrumentationConfig
+from .filters import dominance_filter
+from .gather import gather_function_targets
+from .instrument import (
+    InstrumenterHandle,
+    MemInstrumentPass,
+    instrument_module,
+    make_instrumenter,
+)
+from .itarget import ITarget, TargetKind, TargetStatistics
+from .lf_mechanism import LowFatMechanism
+from .mechanism import InstrumentationMechanism
+from .sb_mechanism import SoftBoundMechanism
+
+__all__ = [
+    "ITarget",
+    "InstrumentationConfig",
+    "InstrumentationMechanism",
+    "InstrumenterHandle",
+    "LowFatMechanism",
+    "MemInstrumentPass",
+    "SoftBoundMechanism",
+    "TargetKind",
+    "TargetStatistics",
+    "dominance_filter",
+    "gather_function_targets",
+    "instrument_module",
+    "make_instrumenter",
+]

@@ -1,0 +1,97 @@
+"""Instrumentation configuration.
+
+Mirrors the MemInstrument command-line flags documented in the paper's
+artifact appendix (Section A.6):
+
+* ``-mi-config=softbound`` / ``-mi-config=lowfat`` -> ``approach``
+* ``-mi-mode=geninvariants`` -> ``mode`` (metadata/invariant
+  propagation only, no dereference checks; the "metadata" series of
+  Figures 10 and 11)
+* ``-mi-opt-dominance`` -> ``opt_dominance`` (the check-elimination
+  filter of Section 5.3)
+* ``-mi-sb-size-zero-wide-upper`` -> wide upper bounds for size-less
+  extern array declarations (Section 4.3)
+* ``-mi-sb-inttoptr-wide-bounds`` -> wide bounds for integer-to-pointer
+  casts (Section 4.4)
+* ``-mi-lf-transform-common-to-weak-linkage`` -> Low-Fat linkage fix
+* ``-mi-policy-ignore-inline-asm`` -> accepted for CLI parity (the
+  mini-IR has no inline assembly)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterable, List
+
+APPROACHES = ("softbound", "lowfat", "noop")
+MODES = ("full", "geninvariants")
+
+
+@dataclass(frozen=True)
+class InstrumentationConfig:
+    approach: str = "softbound"
+    mode: str = "full"
+    opt_dominance: bool = False
+    sb_size_zero_wide_upper: bool = True
+    sb_inttoptr_wide_bounds: bool = True
+    sb_missing_metadata_wide: bool = False
+    sb_wrapper_checks: bool = False
+    lf_transform_common_to_weak_linkage: bool = True
+    policy_ignore_inline_asm: bool = True
+
+    def __post_init__(self) -> None:
+        if self.approach not in APPROACHES:
+            raise ValueError(f"unknown approach {self.approach!r}")
+        if self.mode not in MODES:
+            raise ValueError(f"unknown mode {self.mode!r}")
+
+    @property
+    def insert_deref_checks(self) -> bool:
+        return self.mode == "full"
+
+    def with_(self, **kwargs) -> "InstrumentationConfig":
+        return replace(self, **kwargs)
+
+    @staticmethod
+    def softbound(**kwargs) -> "InstrumentationConfig":
+        """The paper's SoftBound configuration basis (Section A.6)."""
+        defaults = dict(
+            approach="softbound",
+            sb_size_zero_wide_upper=True,
+            sb_inttoptr_wide_bounds=True,
+        )
+        defaults.update(kwargs)
+        return InstrumentationConfig(**defaults)
+
+    @staticmethod
+    def lowfat(**kwargs) -> "InstrumentationConfig":
+        """The paper's Low-Fat Pointers configuration basis."""
+        defaults = dict(
+            approach="lowfat",
+            lf_transform_common_to_weak_linkage=True,
+        )
+        defaults.update(kwargs)
+        return InstrumentationConfig(**defaults)
+
+    @staticmethod
+    def from_flags(flags: Iterable[str]) -> "InstrumentationConfig":
+        """Parse the artifact's flag syntax into a configuration."""
+        kwargs = {}
+        for flag in flags:
+            if flag.startswith("-mi-config="):
+                kwargs["approach"] = flag.split("=", 1)[1]
+            elif flag.startswith("-mi-mode="):
+                kwargs["mode"] = flag.split("=", 1)[1]
+            elif flag == "-mi-opt-dominance":
+                kwargs["opt_dominance"] = True
+            elif flag == "-mi-sb-size-zero-wide-upper":
+                kwargs["sb_size_zero_wide_upper"] = True
+            elif flag == "-mi-sb-inttoptr-wide-bounds":
+                kwargs["sb_inttoptr_wide_bounds"] = True
+            elif flag == "-mi-lf-transform-common-to-weak-linkage":
+                kwargs["lf_transform_common_to_weak_linkage"] = True
+            elif flag == "-mi-policy-ignore-inline-asm":
+                kwargs["policy_ignore_inline_asm"] = True
+            else:
+                raise ValueError(f"unknown MemInstrument flag {flag!r}")
+        return InstrumentationConfig(**kwargs)

@@ -1,0 +1,56 @@
+"""ITarget filters: approach-independent check optimizations.
+
+The paper's Section 5.3 optimization: when two accesses go to the same
+memory location and one dominates the other, the dominated check is
+redundant -- if the first access was in bounds, so is the second.  The
+filter drops the dominated :class:`~repro.core.itarget.ITarget` before
+the mechanism ever emits code for it (8%--50% of static checks in the
+paper's benchmarks, with only minor runtime impact because the compiler
+can also remove the residual duplicates on its own).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..analysis.dominators import DominatorTree
+from ..ir.module import Function
+from .itarget import ITarget, TargetKind
+
+
+def dominance_filter(
+    fn: Function, targets: List[ITarget]
+) -> Tuple[List[ITarget], int]:
+    """Drop dominated duplicate dereference checks.
+
+    Two checks are duplicates when they check the *same pointer SSA
+    value* and the surviving (dominating) check covers at least the
+    width of the dropped one.  Returns the filtered target list and the
+    number of checks removed.
+    """
+    checks = [t for t in targets if t.kind == TargetKind.CHECK_DEREF]
+    if len(checks) < 2:
+        return targets, 0
+    domtree = DominatorTree(fn)
+    by_pointer: Dict[int, List[ITarget]] = {}
+    for target in checks:
+        by_pointer.setdefault(id(target.pointer), []).append(target)
+
+    removed = set()
+    for group in by_pointer.values():
+        if len(group) < 2:
+            continue
+        for candidate in group:
+            if id(candidate) in removed:
+                continue
+            for other in group:
+                if other is candidate or id(other) in removed:
+                    continue
+                if other.width < candidate.width:
+                    continue
+                if domtree.dominates(other.instruction, candidate.instruction):
+                    removed.add(id(candidate))
+                    break
+
+    filtered = [t for t in targets if id(t) not in removed]
+    return filtered, len(removed)

@@ -1,0 +1,100 @@
+"""ITarget gathering (paper Table 1, "Instrumentation Target" column).
+
+Walks a function and produces the approach-independent list of
+locations to instrument:
+
+* every ``load``/``store`` pointer operand -> dereference check;
+* every ``store`` of a *pointer-typed value* -> store invariant;
+* every call with pointer arguments or a pointer result -> call
+  invariant (skipping the instrumentation's own runtime intrinsics);
+* every ``ret`` of a pointer -> return invariant;
+* every ``ptrtoint`` cast -> cast invariant (used by Low-Fat).
+
+Code the instrumentation inserted itself (``meta["mi"]``) is never
+instrumented again.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..ir.instructions import Call, Cast, Instruction, Load, Ret, Store
+from ..ir.module import Function
+from ..ir.types import PointerType, size_of
+from .itarget import ITarget, TargetKind
+
+
+def _is_mi_code(inst: Instruction) -> bool:
+    return bool(inst.meta.get("mi"))
+
+
+def _is_runtime_callee(call: Call) -> bool:
+    fn = call.callee_function
+    if fn is None:
+        return False
+    if fn.name.startswith("__sb_wrap_"):
+        # libc wrappers take part in the shadow-stack protocol like any
+        # other callee; they must not be skipped.
+        return False
+    return (
+        fn.name.startswith("__sb_")
+        or fn.name.startswith("__lf_")
+        or fn.name.startswith("__mi_")
+    )
+
+
+def gather_function_targets(fn: Function) -> List[ITarget]:
+    targets: List[ITarget] = []
+    for block in fn.blocks:
+        for index, inst in enumerate(block.instructions):
+            if _is_mi_code(inst):
+                continue
+            site = f"{fn.name}:{block.name}:{index}"
+            if isinstance(inst, Load):
+                targets.append(
+                    ITarget(
+                        TargetKind.CHECK_DEREF, inst, inst.pointer,
+                        width=size_of(inst.type), site=site,
+                    )
+                )
+            elif isinstance(inst, Store):
+                targets.append(
+                    ITarget(
+                        TargetKind.CHECK_DEREF, inst, inst.pointer,
+                        width=size_of(inst.value.type), site=site,
+                    )
+                )
+                if isinstance(inst.value.type, PointerType):
+                    targets.append(
+                        ITarget(
+                            TargetKind.INVARIANT_STORE, inst, inst.value,
+                            site=site,
+                        )
+                    )
+            elif isinstance(inst, Call):
+                if _is_runtime_callee(inst):
+                    continue
+                has_ptr_arg = any(
+                    isinstance(a.type, PointerType) for a in inst.args
+                )
+                returns_ptr = isinstance(inst.type, PointerType)
+                if has_ptr_arg or returns_ptr:
+                    targets.append(
+                        ITarget(TargetKind.INVARIANT_CALL, inst, None, site=site)
+                    )
+            elif isinstance(inst, Ret):
+                if inst.value is not None and isinstance(
+                    inst.value.type, PointerType
+                ):
+                    targets.append(
+                        ITarget(
+                            TargetKind.INVARIANT_RET, inst, inst.value, site=site
+                        )
+                    )
+            elif isinstance(inst, Cast) and inst.opcode == "ptrtoint":
+                targets.append(
+                    ITarget(
+                        TargetKind.INVARIANT_CAST, inst, inst.value, site=site
+                    )
+                )
+    return targets

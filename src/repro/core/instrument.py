@@ -1,0 +1,115 @@
+"""MemInstrument: the instrumentation pass orchestrator.
+
+Runs the framework stages of paper Section 3 over a module:
+
+1. **prepare** -- mechanism-specific rewriting (runtime declarations,
+   allocator redirection, Low-Fat alloca replacement);
+2. **gather**  -- collect the approach-independent ITargets (Table 1);
+3. **filter**  -- approach-independent check optimizations (the
+   dominance-based elimination of Section 5.3, when enabled);
+4. **lower**   -- the mechanism materializes witnesses and emits
+   checks, metadata updates and invariant code.
+
+``make_instrumenter`` wraps the pass as a pipeline callback so it can
+be plugged into any of the compiler pipeline's extension points
+(Figure 8), and records static statistics on the returned handle.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..ir.module import Function, Module
+from ..ir.verifier import verify_module
+from .config import InstrumentationConfig
+from .filters import dominance_filter
+from .gather import gather_function_targets
+from .itarget import ITarget, TargetStatistics
+from .lf_mechanism import LowFatMechanism
+from .mechanism import InstrumentationMechanism
+from .sb_mechanism import SoftBoundMechanism
+
+
+def _make_mechanism(config: InstrumentationConfig) -> Optional[InstrumentationMechanism]:
+    if config.approach == "softbound":
+        return SoftBoundMechanism(config)
+    if config.approach == "lowfat":
+        return LowFatMechanism(config)
+    return None  # noop
+
+
+class MemInstrumentPass:
+    """The instrumentation as a reusable pass object.
+
+    After :meth:`run`, ``statistics`` holds the per-module static
+    counts (gathered/filtered/emitted targets per kind)."""
+
+    def __init__(self, config: InstrumentationConfig, verify: bool = False):
+        self.config = config
+        self.verify = verify
+        self.statistics = TargetStatistics()
+        self.per_function: Dict[str, TargetStatistics] = {}
+
+    def run(self, module: Module) -> None:
+        mechanism = _make_mechanism(self.config)
+        if mechanism is None:
+            return
+        mechanism.prepare_module(module)
+        for fn in list(module.functions.values()):
+            if fn.native or fn.is_declaration:
+                continue
+            if "mi_ignore" in fn.attributes:
+                continue
+            self._instrument_function(mechanism, fn)
+        if self.verify:
+            verify_module(module)
+
+    def _instrument_function(
+        self, mechanism: InstrumentationMechanism, fn: Function
+    ) -> None:
+        mechanism.prepare_function(fn)
+        targets = gather_function_targets(fn)
+        stats = TargetStatistics()
+        for target in targets:
+            stats.count(target)
+        if self.config.opt_dominance:
+            targets, removed = dominance_filter(fn, targets)
+            stats.filtered_checks = removed
+        mechanism.instrument_function(fn, targets)
+        self.per_function[fn.name] = stats
+        self.statistics.merge(stats)
+
+
+def instrument_module(
+    module: Module, config: InstrumentationConfig, verify: bool = False
+) -> MemInstrumentPass:
+    """Instrument a module in place; returns the pass (for statistics)."""
+    pass_ = MemInstrumentPass(config, verify)
+    pass_.run(module)
+    return pass_
+
+
+def make_instrumenter(
+    config: InstrumentationConfig, verify: bool = False
+) -> "InstrumenterHandle":
+    """An instrumentation callback for
+    :func:`repro.opt.pipeline.build_pipeline`'s ``instrument`` hook."""
+    return InstrumenterHandle(config, verify)
+
+
+class InstrumenterHandle:
+    def __init__(self, config: InstrumentationConfig, verify: bool):
+        self.pass_ = MemInstrumentPass(config, verify)
+        self.ran = False
+
+    def __call__(self, module: Module) -> None:
+        self.pass_.run(module)
+        self.ran = True
+
+    @property
+    def statistics(self) -> TargetStatistics:
+        return self.pass_.statistics
+
+    @property
+    def per_function(self) -> Dict[str, TargetStatistics]:
+        return self.pass_.per_function

@@ -1,0 +1,94 @@
+"""Instrumentation targets (ITargets).
+
+The framework's central abstraction (paper Section 3): an ITarget names
+a code location that an instrumentation must handle, together with the
+task at that location (Table 1).  Gathering produces ITargets, filters
+(e.g. the dominance-based check elimination) drop some, and the
+approach-specific mechanism lowers the survivors into code.
+
+Kinds:
+
+* ``CHECK_DEREF``      -- ensure safety of a load/store (in-bounds check);
+* ``INVARIANT_STORE``  -- a pointer value escapes through a store
+                          (SoftBound: trie update; Low-Fat: escape check);
+* ``INVARIANT_CALL``   -- pointer arguments escape into a callee
+                          (SoftBound: shadow-stack push; Low-Fat: checks);
+* ``INVARIANT_RET``    -- a pointer value is returned
+                          (SoftBound: return-slot write; Low-Fat: check);
+* ``INVARIANT_CAST``   -- a pointer is cast to an integer (Low-Fat adds
+                          an escape check, Section 4.4; SoftBound: none).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..ir.instructions import Instruction
+from ..ir.values import Value
+
+
+class TargetKind:
+    CHECK_DEREF = "check_deref"
+    INVARIANT_STORE = "invariant_store"
+    INVARIANT_CALL = "invariant_call"
+    INVARIANT_RET = "invariant_ret"
+    INVARIANT_CAST = "invariant_cast"
+
+    ALL = (CHECK_DEREF, INVARIANT_STORE, INVARIANT_CALL, INVARIANT_RET,
+           INVARIANT_CAST)
+
+
+@dataclass
+class ITarget:
+    kind: str
+    instruction: Instruction      # the location to instrument
+    pointer: Optional[Value]      # the pointer the task concerns
+    width: int = 0                # access width in bytes (checks only)
+    site: str = ""                # stable identifier for statistics
+
+    def is_check(self) -> bool:
+        return self.kind == TargetKind.CHECK_DEREF
+
+    def is_invariant(self) -> bool:
+        return self.kind != TargetKind.CHECK_DEREF
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ITarget {self.kind} at {self.site or self.instruction.opcode}>"
+
+
+@dataclass
+class TargetStatistics:
+    """Static instrumentation statistics, per function or module.
+
+    Feeds the Table 1 location counts and the Section 5.3 numbers on
+    how many checks the dominance filter removes."""
+
+    gathered_checks: int = 0
+    gathered_invariants: int = 0
+    filtered_checks: int = 0
+    by_kind: dict = field(default_factory=dict)
+
+    def count(self, target: ITarget) -> None:
+        self.by_kind[target.kind] = self.by_kind.get(target.kind, 0) + 1
+        if target.is_check():
+            self.gathered_checks += 1
+        else:
+            self.gathered_invariants += 1
+
+    def merge(self, other: "TargetStatistics") -> None:
+        self.gathered_checks += other.gathered_checks
+        self.gathered_invariants += other.gathered_invariants
+        self.filtered_checks += other.filtered_checks
+        for kind, count in other.by_kind.items():
+            self.by_kind[kind] = self.by_kind.get(kind, 0) + count
+
+    @property
+    def emitted_checks(self) -> int:
+        return self.gathered_checks - self.filtered_checks
+
+    @property
+    def filtered_fraction(self) -> float:
+        if not self.gathered_checks:
+            return 0.0
+        return self.filtered_checks / self.gathered_checks

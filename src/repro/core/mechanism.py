@@ -1,0 +1,117 @@
+"""Instrumentation mechanism base class and runtime declarations.
+
+A *mechanism* (paper Section 3) lowers the approach-independent
+ITargets into concrete code: witness materialization, check calls,
+metadata updates.  Both mechanisms mark every instruction they insert
+with ``meta["mi"]`` so gathering never re-instruments inserted code,
+and tag check calls with ``meta["mi_site"]`` so the VM attributes
+dynamic check statistics to source-level sites (Table 2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..ir.builder import IRBuilder
+from ..ir.instructions import Instruction
+from ..ir.module import Function, Module
+from ..ir.types import FunctionType, I64, I8, PointerType, VOID, ptr
+from ..ir.values import Value
+from .config import InstrumentationConfig
+from .itarget import ITarget
+
+I8P = ptr(I8)
+
+#: name -> (signature, attributes) for every runtime function either
+#: mechanism may call.  ``readnone``/``readonly`` drive the optimizer
+#: (trie loads are CSE-able and DCE-able; checks are ``may_abort`` and
+#: can only be removed by the dominated-duplicate rule).
+RUNTIME_DECLARATIONS: Dict[str, Tuple[FunctionType, frozenset]] = {
+    # SoftBound.  Checks are calls to external runtime functions with
+    # *no* memory attributes: like in the paper's setting, the compiler
+    # must assume they may write memory and may not return, so they act
+    # as barriers for load CSE and code motion -- the mechanism behind
+    # the extension-point gap of Figures 12/13 (Section 5.5).  Metadata
+    # *loads*, in contrast, model the inlined lookup sequences and stay
+    # readonly/readnone, so unused ones are dead-code-eliminated
+    # (the Section 5.4 observation).
+    "__sb_check": (FunctionType(VOID, [I64, I64, I64, I64]),
+                   frozenset({"mi_check", "may_abort"})),
+    "__sb_trie_load_base": (FunctionType(I64, [I64]), frozenset({"readonly"})),
+    "__sb_trie_load_bound": (FunctionType(I64, [I64]), frozenset({"readonly"})),
+    "__sb_trie_store": (FunctionType(VOID, [I64, I64, I64]), frozenset()),
+    "__sb_ss_enter": (FunctionType(VOID, [I64]), frozenset()),
+    "__sb_ss_exit": (FunctionType(VOID, []), frozenset()),
+    "__sb_ss_set": (FunctionType(VOID, [I64, I64, I64]), frozenset()),
+    "__sb_ss_get_base": (FunctionType(I64, [I64]), frozenset({"readonly"})),
+    "__sb_ss_get_bound": (FunctionType(I64, [I64]), frozenset({"readonly"})),
+    "__sb_ss_set_ret": (FunctionType(VOID, [I64, I64]), frozenset()),
+    "__sb_ss_get_ret_base": (FunctionType(I64, []), frozenset({"readonly"})),
+    "__sb_ss_get_ret_bound": (FunctionType(I64, []), frozenset({"readonly"})),
+    # Low-Fat Pointers (checks are barriers, see above)
+    "__lf_check": (FunctionType(VOID, [I64, I64, I64]),
+                   frozenset({"mi_check", "may_abort"})),
+    "__lf_invariant_check": (FunctionType(VOID, [I64, I64]),
+                             frozenset({"mi_check", "may_abort"})),
+    "__lf_compute_base": (FunctionType(I64, [I64]), frozenset({"readnone"})),
+    "__lf_malloc": (FunctionType(I8P, [I64]), frozenset()),
+    "__lf_calloc": (FunctionType(I8P, [I64, I64]), frozenset()),
+    "__lf_realloc": (FunctionType(I8P, [I8P, I64]), frozenset()),
+    "__lf_free": (FunctionType(VOID, [I8P]), frozenset()),
+    "__lf_alloca": (FunctionType(I8P, [I64]), frozenset()),
+}
+
+WIDE_BOUND_INT = (1 << 64) - 1
+
+
+class InstrumentationMechanism:
+    """Base class for approach-specific target lowering."""
+
+    name = "<mechanism>"
+
+    def __init__(self, config: InstrumentationConfig):
+        self.config = config
+        self.module: Optional[Module] = None
+
+    # -- module/function hooks (orchestrated by instrument.py) -----------
+    def prepare_module(self, module: Module) -> None:
+        """Declare runtime functions, rewrite callees, adjust linkage."""
+        self.module = module
+
+    def prepare_function(self, fn: Function) -> None:
+        """Per-function rewriting that must precede target gathering
+        (e.g. Low-Fat's alloca replacement)."""
+
+    def instrument_function(self, fn: Function, targets: List[ITarget]) -> None:
+        raise NotImplementedError
+
+    # -- shared helpers ------------------------------------------------------
+    def declare_runtime(self, module: Module, name: str) -> Function:
+        fnty, attrs = RUNTIME_DECLARATIONS[name]
+        fn = module.get_or_declare_function(name, fnty, attrs)
+        fn.native = True
+        return fn
+
+    @staticmethod
+    def mark(inst: Instruction, site: Optional[str] = None) -> Instruction:
+        """Tag an inserted instruction as instrumentation code."""
+        inst.meta["mi"] = True
+        if site is not None:
+            inst.meta["mi_site"] = site
+        return inst
+
+    def marked_builder(self, fn: Function) -> "MarkingBuilder":
+        return MarkingBuilder(fn)
+
+
+class MarkingBuilder(IRBuilder):
+    """An IRBuilder that tags every inserted instruction with
+    ``meta["mi"]``."""
+
+    def __init__(self, fn: Function):
+        super().__init__()
+        self._fn = fn
+
+    def insert(self, inst: Instruction) -> Instruction:
+        inst.meta["mi"] = True
+        return super().insert(inst)

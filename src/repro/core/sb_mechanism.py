@@ -1,0 +1,312 @@
+"""The SoftBound mechanism: lowering ITargets to SoftBound code.
+
+Follows Table 1's SoftBound column:
+
+* dereference checks compare the pointer against its (base, bound)
+  witness (Figure 2);
+* witnesses propagate as pairs of ``i64`` SSA values: allocations yield
+  them directly, phis/selects get companion phis/selects, geps and
+  bitcasts inherit the source pointer's witness;
+* pointers loaded from memory take their bounds from the **trie**,
+  keyed by the loaded-from address; pointer stores update the trie;
+* pointer arguments and return values travel over the **shadow stack**;
+* calls to the supported C standard library are redirected to wrappers
+  that maintain metadata (Figure 6);
+* integer-to-pointer casts get wide or NULL bounds depending on
+  ``sb_inttoptr_wide_bounds`` (Section 4.4);
+* size-less extern array declarations get a wide upper bound under
+  ``sb_size_zero_wide_upper`` (Section 4.3) -- the source of Table 2's
+  unchecked accesses for gzip-like code.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..ir.instructions import (
+    Alloca,
+    Call,
+    Cast,
+    GEP,
+    Instruction,
+    Load,
+    Phi,
+    Ret,
+    Select,
+    Store,
+)
+from ..ir.module import Function, GlobalVariable, Module
+from ..ir.types import I64, IntType, PointerType, size_of
+from ..ir.values import Argument, Constant, ConstantInt, ConstantNull, UndefValue, Value
+from ..softbound.runtime import WRAPPED_FUNCTIONS
+from .itarget import ITarget, TargetKind
+from .mechanism import (
+    InstrumentationMechanism,
+    RUNTIME_DECLARATIONS,
+    WIDE_BOUND_INT,
+)
+
+Witness = Tuple[Value, Value]  # (base, bound), both i64
+
+
+class SoftBoundMechanism(InstrumentationMechanism):
+    name = "softbound"
+
+    def __init__(self, config):
+        super().__init__(config)
+        self._memo: Dict[int, Witness] = {}
+        self._fn: Optional[Function] = None
+
+    # ------------------------------------------------------------------
+    # module preparation
+    # ------------------------------------------------------------------
+    def prepare_module(self, module: Module) -> None:
+        super().prepare_module(module)
+        for name in RUNTIME_DECLARATIONS:
+            if name.startswith("__sb_"):
+                self.declare_runtime(module, name)
+        self._install_wrappers(module)
+
+    def _install_wrappers(self, module: Module) -> None:
+        """Redirect calls to wrapped libc functions to their SoftBound
+        wrappers (paper Figure 6)."""
+        for fn in list(module.functions.values()):
+            if fn.is_declaration and not fn.native:
+                continue
+            for inst in list(fn.instructions()):
+                if not isinstance(inst, Call):
+                    continue
+                callee = inst.callee_function
+                if callee is None or not callee.native:
+                    continue
+                if callee.name in WRAPPED_FUNCTIONS:
+                    wrapper = module.get_or_declare_function(
+                        f"__sb_wrap_{callee.name}", callee.fnty,
+                        callee.attributes,
+                    )
+                    wrapper.native = True
+                    inst.set_operand(0, wrapper)
+
+    # ------------------------------------------------------------------
+    # function instrumentation
+    # ------------------------------------------------------------------
+    def instrument_function(self, fn: Function, targets: List[ITarget]) -> None:
+        self._fn = fn
+        self._memo = {}
+        for target in targets:
+            if target.kind == TargetKind.CHECK_DEREF:
+                if self.config.insert_deref_checks:
+                    self._lower_check(target)
+            elif target.kind == TargetKind.INVARIANT_STORE:
+                self._lower_store_invariant(target)
+            elif target.kind == TargetKind.INVARIANT_CALL:
+                self._lower_call_invariant(target)
+            elif target.kind == TargetKind.INVARIANT_RET:
+                self._lower_ret_invariant(target)
+            # INVARIANT_CAST: SoftBound does not act on ptrtoint.
+
+    # -- lowering ---------------------------------------------------------
+    def _lower_check(self, target: ITarget) -> None:
+        builder = self.marked_builder(self._fn)
+        base, bound = self._witness(target.pointer)
+        builder.position_before(target.instruction)
+        p64 = builder.ptrtoint(target.pointer, I64)
+        check = builder.call(
+            self.module.get_function("__sb_check"),
+            [p64, ConstantInt(I64, target.width), base, bound],
+        )
+        check.meta["mi_site"] = target.site
+
+    def _lower_store_invariant(self, target: ITarget) -> None:
+        store = target.instruction
+        assert isinstance(store, Store)
+        base, bound = self._witness(store.value)
+        builder = self.marked_builder(self._fn)
+        builder.position_before(store)
+        location = builder.ptrtoint(store.pointer, I64)
+        builder.call(
+            self.module.get_function("__sb_trie_store"), [location, base, bound]
+        )
+
+    def _lower_call_invariant(self, target: ITarget) -> None:
+        call = target.instruction
+        assert isinstance(call, Call)
+        ptr_args = [a for a in call.args if isinstance(a.type, PointerType)]
+        builder = self.marked_builder(self._fn)
+        if ptr_args:
+            witnesses = [self._witness(a) for a in ptr_args]
+            builder.position_before(call)
+            builder.call(
+                self.module.get_function("__sb_ss_enter"),
+                [ConstantInt(I64, len(ptr_args))],
+            )
+            for index, (base, bound) in enumerate(witnesses):
+                builder.call(
+                    self.module.get_function("__sb_ss_set"),
+                    [ConstantInt(I64, index), base, bound],
+                )
+        builder.position_after(call)
+        if isinstance(call.type, PointerType) and id(call) not in self._memo:
+            ret_base = builder.call(
+                self.module.get_function("__sb_ss_get_ret_base"), []
+            )
+            ret_bound = builder.call(
+                self.module.get_function("__sb_ss_get_ret_bound"), []
+            )
+            self._memo[id(call)] = (ret_base, ret_bound)
+        if ptr_args:
+            builder.call(self.module.get_function("__sb_ss_exit"), [])
+
+    def _lower_ret_invariant(self, target: ITarget) -> None:
+        ret = target.instruction
+        assert isinstance(ret, Ret)
+        base, bound = self._witness(ret.value)
+        builder = self.marked_builder(self._fn)
+        builder.position_before(ret)
+        builder.call(
+            self.module.get_function("__sb_ss_set_ret"), [base, bound]
+        )
+
+    # ------------------------------------------------------------------
+    # witness materialization
+    # ------------------------------------------------------------------
+    def _witness(self, pointer: Value) -> Witness:
+        key = id(pointer)
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
+        witness = self._materialize(pointer)
+        self._memo[key] = witness
+        return witness
+
+    def _materialize(self, pointer: Value) -> Witness:
+        # Bounds-preserving derivations inherit the source's witness.
+        if isinstance(pointer, GEP):
+            return self._witness(pointer.pointer)
+        if isinstance(pointer, Cast) and pointer.opcode == "bitcast":
+            if isinstance(pointer.value.type, PointerType):
+                return self._witness(pointer.value)
+        if isinstance(pointer, Cast) and pointer.opcode == "inttoptr":
+            if self.config.sb_inttoptr_wide_bounds:
+                return self._wide()
+            return self._null()
+        if isinstance(pointer, Alloca):
+            return self._alloca_witness(pointer)
+        if isinstance(pointer, Load):
+            return self._load_witness(pointer)
+        if isinstance(pointer, Call):
+            return self._call_witness(pointer)
+        if isinstance(pointer, Phi):
+            return self._phi_witness(pointer)
+        if isinstance(pointer, Select):
+            return self._select_witness(pointer)
+        if isinstance(pointer, Argument):
+            return self._argument_witness(pointer)
+        if isinstance(pointer, GlobalVariable):
+            return self._global_witness(pointer)
+        if isinstance(pointer, (ConstantNull, UndefValue)):
+            return self._null()
+        if isinstance(pointer, Function):
+            return self._wide()  # function pointers are not data objects
+        # Unknown producer: be permissive rather than reject the program.
+        return self._wide()
+
+    def _wide(self) -> Witness:
+        return (ConstantInt(I64, 0), ConstantInt(I64, WIDE_BOUND_INT))
+
+    def _null(self) -> Witness:
+        return (ConstantInt(I64, 0), ConstantInt(I64, 0))
+
+    def _alloca_witness(self, alloca: Alloca) -> Witness:
+        builder = self.marked_builder(self._fn)
+        builder.position_after(alloca)
+        base = builder.ptrtoint(alloca, I64)
+        size: Value = ConstantInt(I64, size_of(alloca.allocated_type))
+        if alloca.count is not None:
+            count = alloca.count
+            if isinstance(count.type, IntType) and count.type.bits < 64:
+                count = builder.sext(count, I64)
+            size = builder.mul(size, count)
+        bound = builder.add(base, size)
+        return (base, bound)
+
+    def _load_witness(self, load: Load) -> Witness:
+        """Pointer loaded from memory: bounds come from the trie, keyed
+        by the address the pointer was loaded from (Section 3.2)."""
+        builder = self.marked_builder(self._fn)
+        builder.position_after(load)
+        location = builder.ptrtoint(load.pointer, I64)
+        base = builder.call(
+            self.module.get_function("__sb_trie_load_base"), [location]
+        )
+        bound = builder.call(
+            self.module.get_function("__sb_trie_load_bound"), [location]
+        )
+        return (base, bound)
+
+    def _call_witness(self, call: Call) -> Witness:
+        """Pointer returned from a call: bounds from the shadow-stack
+        return slot.  Normally pre-populated by the call-invariant
+        lowering; this path covers calls without pointer arguments."""
+        builder = self.marked_builder(self._fn)
+        builder.position_after(call)
+        base = builder.call(self.module.get_function("__sb_ss_get_ret_base"), [])
+        bound = builder.call(self.module.get_function("__sb_ss_get_ret_bound"), [])
+        return (base, bound)
+
+    def _phi_witness(self, phi: Phi) -> Witness:
+        base_phi = Phi(I64, self._fn.next_name("sb.base"))
+        bound_phi = Phi(I64, self._fn.next_name("sb.bound"))
+        self.mark(base_phi)
+        self.mark(bound_phi)
+        block = phi.parent
+        assert block is not None
+        block.insert(0, bound_phi)
+        block.insert(0, base_phi)
+        # Pre-memoize to terminate witness cycles through loop phis.
+        self._memo[id(phi)] = (base_phi, bound_phi)
+        for value, pred in phi.incoming:
+            base, bound = self._witness(value)
+            base_phi.add_incoming(base, pred)
+            bound_phi.add_incoming(bound, pred)
+        return (base_phi, bound_phi)
+
+    def _select_witness(self, select: Select) -> Witness:
+        true_w = self._witness(select.true_value)
+        false_w = self._witness(select.false_value)
+        builder = self.marked_builder(self._fn)
+        builder.position_after(select)
+        base = builder.select(select.condition, true_w[0], false_w[0])
+        bound = builder.select(select.condition, true_w[1], false_w[1])
+        return (base, bound)
+
+    def _argument_witness(self, arg: Argument) -> Witness:
+        """Pointer parameter: bounds from the caller's shadow-stack
+        frame (slot index = position among the pointer parameters)."""
+        slot = 0
+        for other in self._fn.args:
+            if other is arg:
+                break
+            if isinstance(other.type, PointerType):
+                slot += 1
+        builder = self.marked_builder(self._fn)
+        builder.position_at_start(self._fn.entry)
+        base = builder.call(
+            self.module.get_function("__sb_ss_get_base"), [ConstantInt(I64, slot)]
+        )
+        bound = builder.call(
+            self.module.get_function("__sb_ss_get_bound"), [ConstantInt(I64, slot)]
+        )
+        return (base, bound)
+
+    def _global_witness(self, gv: GlobalVariable) -> Witness:
+        builder = self.marked_builder(self._fn)
+        builder.position_at_start(self._fn.entry)
+        base = builder.ptrtoint(gv, I64)
+        if gv.declared_without_size:
+            if self.config.sb_size_zero_wide_upper:
+                return (base, ConstantInt(I64, WIDE_BOUND_INT))
+            # NULL upper bound: every access through it reports.
+            return (base, ConstantInt(I64, 0))
+        bound = builder.add(base, ConstantInt(I64, size_of(gv.value_type)))
+        return (base, bound)

@@ -1,0 +1,89 @@
+"""Exception hierarchy of the reproduction.
+
+Three different kinds of "going wrong" must stay distinguishable,
+because the paper's evaluation is precisely about which tool reports
+what:
+
+* :class:`MemSafetyViolation` -- an instrumentation check fired (this is
+  the *detection* the sanitizers provide).  Carries the check kind
+  (dereference check vs. Low-Fat escape-invariant check) and location.
+* :class:`MemoryFault` -- the simulated hardware trapped: an access hit
+  unmapped or freed memory.  An uninstrumented program with an
+  out-of-bounds access may fault, silently corrupt a neighbouring
+  allocation, or read padding -- exactly the behaviours the paper's
+  security discussion distinguishes.
+* :class:`VMError` / :class:`CompileError` -- bugs in the input program
+  or in its compilation, unrelated to memory safety.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by this package."""
+
+
+class CompileError(ReproError):
+    """The frontend rejected a MiniC program."""
+
+    def __init__(self, message: str, line: Optional[int] = None):
+        self.line = line
+        prefix = f"line {line}: " if line is not None else ""
+        super().__init__(prefix + message)
+
+
+class VMError(ReproError):
+    """The interpreter hit an unrecoverable condition (e.g. calling an
+    undefined function)."""
+
+
+class MemoryFault(VMError):
+    """Simulated hardware trap: access to unmapped or freed memory."""
+
+    def __init__(self, address: int, size: int, reason: str):
+        self.address = address
+        self.size = size
+        self.reason = reason
+        super().__init__(f"memory fault at 0x{address:x} (size {size}): {reason}")
+
+
+class ProgramAbort(ReproError):
+    """The interpreted program called ``abort``/``exit`` with nonzero."""
+
+    def __init__(self, code: int = 1):
+        self.code = code
+        super().__init__(f"program aborted with code {code}")
+
+
+class MemSafetyViolation(ReproError):
+    """A memory-safety check inserted by the instrumentation fired.
+
+    ``kind`` is one of:
+
+    * ``"deref"`` -- an in-bounds check at a load/store failed.
+    * ``"invariant"`` -- a Low-Fat escape check (store/call/return of an
+      out-of-bounds pointer) failed, cf. paper Section 4.2.
+    * ``"wrapper"`` -- a SoftBound standard-library wrapper check failed.
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        message: str,
+        pointer: int = 0,
+        base: int = 0,
+        bound: int = 0,
+        site: Optional[str] = None,
+    ):
+        self.kind = kind
+        self.pointer = pointer
+        self.base = base
+        self.bound = bound
+        self.site = site
+        loc = f" at {site}" if site else ""
+        super().__init__(
+            f"memory safety violation ({kind}){loc}: {message} "
+            f"[ptr=0x{pointer:x} base=0x{base:x} bound=0x{bound:x}]"
+        )

@@ -1,0 +1,5 @@
+"""Experiment harness: regenerates every table and figure of the paper."""
+
+from .common import Runner, config_for, format_table, geomean
+
+__all__ = ["Runner", "config_for", "format_table", "geomean"]

@@ -1,0 +1,161 @@
+"""Shared infrastructure for the experiment harness.
+
+Each experiment module (table1, table2, fig9, ...) regenerates one
+table or figure of the paper from the same primitives: compile a
+workload under a configuration, run it on the VM, and collect the
+statistics.  Results are cached per (workload, configuration label)
+within a process so that e.g. the Figure 9 runs are reused by Table 2.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..core.config import InstrumentationConfig
+from ..core.itarget import TargetStatistics
+from ..driver import CompileOptions, CompiledProgram, compile_program, run_program
+from ..vm.stats import RuntimeStats
+from ..workloads import Workload, all_workloads
+
+MAX_INSTRUCTIONS = 50_000_000
+
+#: Named configurations used across the evaluation (paper Section 5).
+#: "optimized" = dominance check elimination on (the Figure 9 setting),
+#: "unoptimized" = all gathered checks emitted,
+#: "metadata" = -mi-mode=geninvariants (no dereference checks).
+CONFIG_LABELS = (
+    "baseline",
+    "softbound", "softbound-unopt", "softbound-meta",
+    "lowfat", "lowfat-unopt", "lowfat-meta",
+)
+
+
+def config_for(label: str) -> Optional[InstrumentationConfig]:
+    if label == "baseline":
+        return None
+    approach, _, variant = label.partition("-")
+    base = (
+        InstrumentationConfig.softbound()
+        if approach == "softbound"
+        else InstrumentationConfig.lowfat()
+    )
+    if variant == "":
+        return base.with_(opt_dominance=True)
+    if variant == "unopt":
+        return base.with_(opt_dominance=False)
+    if variant == "meta":
+        return base.with_(mode="geninvariants", opt_dominance=False)
+    raise ValueError(f"unknown configuration label {label!r}")
+
+
+@dataclass
+class BenchResult:
+    workload: str
+    label: str
+    extension_point: str
+    cycles: int
+    instructions: int
+    output: List[str]
+    ok: bool
+    describe: str
+    checks_executed: int
+    checks_wide: int
+    unsafe_percent: float
+    invariant_checks: int
+    trie_loads: int
+    trie_stores: int
+    shadow_stack_ops: int
+    lowfat_fallbacks: int
+    static: TargetStatistics
+
+    @staticmethod
+    def from_run(workload: Workload, label: str, ep: str,
+                 program: CompiledProgram, stats: RuntimeStats,
+                 ok: bool, describe: str, output: List[str]) -> "BenchResult":
+        return BenchResult(
+            workload=workload.name, label=label, extension_point=ep,
+            cycles=stats.cycles, instructions=stats.instructions,
+            output=output, ok=ok, describe=describe,
+            checks_executed=stats.checks_executed,
+            checks_wide=stats.checks_wide,
+            unsafe_percent=stats.unsafe_percent,
+            invariant_checks=stats.invariant_checks,
+            trie_loads=stats.trie_loads, trie_stores=stats.trie_stores,
+            shadow_stack_ops=stats.shadow_stack_ops,
+            lowfat_fallbacks=stats.lowfat_fallback_allocs,
+            static=program.instrumentation,
+        )
+
+
+class Runner:
+    """Compiles and runs workloads, caching results per configuration."""
+
+    def __init__(self, max_instructions: int = MAX_INSTRUCTIONS):
+        self.max_instructions = max_instructions
+        self._cache: Dict[Tuple[str, str, str], BenchResult] = {}
+        self._reference_output: Dict[str, List[str]] = {}
+
+    def run(
+        self,
+        workload: Workload,
+        label: str,
+        extension_point: str = "VectorizerStart",
+    ) -> BenchResult:
+        key = (workload.name, label, extension_point)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        config = config_for(label)
+        options = CompileOptions(
+            extension_point=extension_point,
+            obfuscate_pointer_copies=tuple(workload.obfuscated_units),
+        )
+        if config is None:
+            program = compile_program(workload.sources, options=options)
+        else:
+            program = compile_program(workload.sources, config, options)
+        run = run_program(program, max_instructions=self.max_instructions)
+        reference = self._reference_output.get(workload.name)
+        if label == "baseline" and run.ok:
+            self._reference_output[workload.name] = list(run.output)
+            output_ok = True
+        else:
+            output_ok = reference is None or run.output == reference
+        result = BenchResult.from_run(
+            workload, label, extension_point, program, run.stats,
+            ok=run.ok and output_ok, describe=run.describe(),
+            output=list(run.output),
+        )
+        self._cache[key] = result
+        return result
+
+    def baseline(self, workload: Workload) -> BenchResult:
+        return self.run(workload, "baseline")
+
+    def overhead(self, workload: Workload, label: str,
+                 extension_point: str = "VectorizerStart") -> float:
+        base = self.baseline(workload)
+        inst = self.run(workload, label, extension_point)
+        return inst.cycles / base.cycles if base.cycles else math.inf
+
+
+def geomean(values: Iterable[float]) -> float:
+    values = [v for v in values if v > 0]
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def format_table(headers: List[str], rows: List[List[str]]) -> str:
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(cells: List[str]) -> str:
+        return "  ".join(c.rjust(w) if i else c.ljust(w)
+                         for i, (c, w) in enumerate(zip(cells, widths)))
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)

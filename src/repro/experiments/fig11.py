@@ -1,0 +1,29 @@
+"""Figure 11: Low-Fat Pointers -- optimized, unoptimized, metadata only.
+
+Same three configurations as Figure 10, for Low-Fat Pointers.  The
+"metadata" configuration carries Low-Fat's *escape-invariant checks*
+(pointers stored / passed / returned must be in bounds) without
+dereference checks -- the paper's "only metadata propagation" series.
+"""
+
+from __future__ import annotations
+
+from .common import Runner
+from .fig10 import generate_for
+
+
+def generate(runner: Runner = None) -> str:
+    return generate_for(
+        "lowfat",
+        "Figure 11: Low-Fat Pointers optimized / unoptimized / "
+        "metadata-only overhead vs -O3",
+        runner,
+    )
+
+
+def main() -> None:
+    print(generate())
+
+
+if __name__ == "__main__":
+    main()

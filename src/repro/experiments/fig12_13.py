@@ -1,0 +1,69 @@
+"""Figures 12 and 13: impact of the compiler-pipeline extension point.
+
+Each approach instrumented at the three extension points of the
+pipeline (paper Figure 8):
+
+* ``ModuleOptimizerEarly`` -- before the main scalar optimizations;
+* ``ScalarOptimizerLate``  -- after them;
+* ``VectorizerStart``      -- after all mid-end optimization.
+
+Expected shape (paper Section 5.5): early instrumentation is ~30%
+slower -- the may-abort checks block LICM and load CSE on code that the
+optimizer has not cleaned up yet, and more memory accesses exist to be
+checked; the two late points are comparable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..opt.pipeline import EXTENSION_POINTS
+from ..workloads import all_workloads
+from .common import Runner, format_table, geomean
+
+
+def collect(runner: Runner, approach: str) -> Dict[str, Dict[str, float]]:
+    data: Dict[str, Dict[str, float]] = {}
+    for workload in all_workloads():
+        data[workload.name] = {
+            ep: runner.overhead(workload, approach, extension_point=ep)
+            for ep in EXTENSION_POINTS
+        }
+    return data
+
+
+def generate_for(approach: str, figure: str, runner: Runner = None) -> str:
+    runner = runner or Runner()
+    data = collect(runner, approach)
+    headers = ["benchmark"] + list(EXTENSION_POINTS)
+    rows: List[List[str]] = []
+    for name, d in data.items():
+        rows.append([name] + [f"{d[ep]:.2f}x" for ep in EXTENSION_POINTS])
+    rows.append(["geomean"] + [
+        f"{geomean(d[ep] for d in data.values()):.2f}x"
+        for ep in EXTENSION_POINTS
+    ])
+    title = (
+        f"Figure {figure}: {approach} overhead vs -O3 at the three "
+        "pipeline extension points"
+    )
+    return title + "\n\n" + format_table(headers, rows)
+
+
+def generate_fig12(runner: Runner = None) -> str:
+    return generate_for("softbound", "12", runner)
+
+
+def generate_fig13(runner: Runner = None) -> str:
+    return generate_for("lowfat", "13", runner)
+
+
+def main() -> None:
+    runner = Runner()
+    print(generate_fig12(runner))
+    print()
+    print(generate_fig13(runner))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""MiniC: the C-subset frontend of the reproduction."""
+
+from .codegen import CodeGenerator, compile_source
+from .lexer import Token, tokenize
+from .parser import parse
+
+__all__ = ["CodeGenerator", "Token", "compile_source", "parse", "tokenize"]

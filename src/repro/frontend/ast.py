@@ -1,0 +1,305 @@
+"""Abstract syntax tree for MiniC.
+
+The AST stores *C-level* types (:class:`CType` and friends), which
+the codegen lowers to IR types.  Keeping the two type worlds separate
+lets the reproduction discuss C-vs-IR mismatches faithfully (paper
+Section 4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+# ---------------------------------------------------------------------
+# C types
+# ---------------------------------------------------------------------
+
+
+class CType:
+    def is_pointer(self) -> bool:
+        return isinstance(self, CPointer)
+
+    def is_array(self) -> bool:
+        return isinstance(self, CArray)
+
+    def is_struct(self) -> bool:
+        return isinstance(self, CStruct)
+
+    def is_void(self) -> bool:
+        return isinstance(self, CPrim) and self.name == "void"
+
+    def is_integer(self) -> bool:
+        return isinstance(self, CPrim) and self.name in (
+            "char", "int", "long", "unsigned",
+        )
+
+    def is_float(self) -> bool:
+        return isinstance(self, CPrim) and self.name in ("float", "double")
+
+    def is_arithmetic(self) -> bool:
+        return self.is_integer() or self.is_float()
+
+
+@dataclass(frozen=True)
+class CPrim(CType):
+    name: str  # void | char | int | long | unsigned | float | double
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class CPointer(CType):
+    pointee: CType
+
+    def __str__(self) -> str:
+        return f"{self.pointee}*"
+
+
+@dataclass(frozen=True)
+class CArray(CType):
+    element: CType
+    count: Optional[int]  # None: size-less declaration (extern int a[];)
+
+    def __str__(self) -> str:
+        return f"{self.element}[{self.count if self.count is not None else ''}]"
+
+
+@dataclass(frozen=True)
+class CStruct(CType):
+    tag: str
+
+    def __str__(self) -> str:
+        return f"struct {self.tag}"
+
+
+@dataclass(frozen=True)
+class CFunction(CType):
+    """A function signature; only occurs behind a CPointer (function
+    pointers declared as ``RET (*name)(T1, T2)``)."""
+
+    ret: "CType"
+    params: Tuple["CType", ...]
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(p) for p in self.params)
+        return f"{self.ret} (*)({inner})"
+
+
+CVOID = CPrim("void")
+CCHAR = CPrim("char")
+CINT = CPrim("int")
+CLONG = CPrim("long")
+CUNSIGNED = CPrim("unsigned")
+CFLOAT = CPrim("float")
+CDOUBLE = CPrim("double")
+
+
+# ---------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------
+
+
+@dataclass
+class Expr:
+    line: int = 0
+
+
+@dataclass
+class IntLit(Expr):
+    value: int = 0
+    is_long: bool = False
+
+
+@dataclass
+class FloatLit(Expr):
+    value: float = 0.0
+
+
+@dataclass
+class CharLit(Expr):
+    value: int = 0
+
+
+@dataclass
+class StringLit(Expr):
+    value: bytes = b""
+
+
+@dataclass
+class NullLit(Expr):
+    pass
+
+
+@dataclass
+class Ident(Expr):
+    name: str = ""
+
+
+@dataclass
+class Unary(Expr):
+    op: str = ""          # - ! ~ * & ++pre --pre
+    operand: Optional[Expr] = None
+
+
+@dataclass
+class Postfix(Expr):
+    op: str = ""          # ++ --
+    operand: Optional[Expr] = None
+
+
+@dataclass
+class Binary(Expr):
+    op: str = ""
+    lhs: Optional[Expr] = None
+    rhs: Optional[Expr] = None
+
+
+@dataclass
+class Assign(Expr):
+    op: str = "="         # = += -= *= /= %= &= |= ^= <<= >>=
+    target: Optional[Expr] = None
+    value: Optional[Expr] = None
+
+
+@dataclass
+class Conditional(Expr):
+    cond: Optional[Expr] = None
+    then: Optional[Expr] = None
+    otherwise: Optional[Expr] = None
+
+
+@dataclass
+class CallExpr(Expr):
+    name: str = ""
+    args: List[Expr] = field(default_factory=list)
+
+
+@dataclass
+class Index(Expr):
+    base: Optional[Expr] = None
+    index: Optional[Expr] = None
+
+
+@dataclass
+class Member(Expr):
+    base: Optional[Expr] = None
+    name: str = ""
+    arrow: bool = False   # "->" vs "."
+
+
+@dataclass
+class CastExpr(Expr):
+    target: Optional[CType] = None
+    value: Optional[Expr] = None
+
+
+@dataclass
+class SizeofExpr(Expr):
+    target: Optional[CType] = None
+
+
+# ---------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------
+
+
+@dataclass
+class Stmt:
+    line: int = 0
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Optional[Expr] = None
+
+
+@dataclass
+class DeclStmt(Stmt):
+    ctype: Optional[CType] = None
+    name: str = ""
+    init: Optional[Expr] = None
+
+
+@dataclass
+class Block(Stmt):
+    statements: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class If(Stmt):
+    cond: Optional[Expr] = None
+    then: Optional[Stmt] = None
+    otherwise: Optional[Stmt] = None
+
+
+@dataclass
+class While(Stmt):
+    cond: Optional[Expr] = None
+    body: Optional[Stmt] = None
+    is_do_while: bool = False
+
+
+@dataclass
+class For(Stmt):
+    init: Optional[Stmt] = None
+    cond: Optional[Expr] = None
+    step: Optional[Expr] = None
+    body: Optional[Stmt] = None
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+# ---------------------------------------------------------------------
+# Top-level declarations
+# ---------------------------------------------------------------------
+
+
+@dataclass
+class StructDef:
+    tag: str = ""
+    members: List[Tuple[CType, str]] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class GlobalDecl:
+    ctype: Optional[CType] = None
+    name: str = ""
+    init: Optional[Expr] = None
+    extern: bool = False
+    static: bool = False
+    line: int = 0
+
+
+@dataclass
+class FunctionDef:
+    return_type: Optional[CType] = None
+    name: str = ""
+    params: List[Tuple[CType, str]] = field(default_factory=list)
+    body: Optional[Block] = None   # None: declaration only
+    static: bool = False
+    line: int = 0
+
+
+@dataclass
+class TranslationUnit:
+    structs: List[StructDef] = field(default_factory=list)
+    globals: List[GlobalDecl] = field(default_factory=list)
+    functions: List[FunctionDef] = field(default_factory=list)
+    name: str = "tu"

@@ -1,0 +1,174 @@
+"""Lexer for MiniC, the C subset the workloads are written in."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from ..errors import CompileError
+
+KEYWORDS = {
+    "int", "long", "char", "double", "float", "void", "unsigned",
+    "struct", "extern", "static", "sizeof", "typedef", "const",
+    "if", "else", "while", "for", "do", "return", "break", "continue",
+    "NULL",
+}
+
+# Longest-match-first operator table.
+OPERATORS = [
+    "<<=", ">>=", "...",
+    "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+    "+", "-", "*", "/", "%", "=", "<", ">", "!", "~", "&", "|", "^",
+    "(", ")", "{", "}", "[", "]", ";", ",", ".", "?", ":",
+]
+
+
+@dataclass
+class Token:
+    kind: str        # "ident" | "keyword" | "int" | "float" | "char" | "string" | "op" | "eof"
+    text: str
+    line: int
+    value: object = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind}, {self.text!r}, line {self.line})"
+
+
+def tokenize(source: str) -> List[Token]:
+    tokens: List[Token] = []
+    i = 0
+    line = 1
+    n = len(source)
+    while i < n:
+        c = source[i]
+        if c == "\n":
+            line += 1
+            i += 1
+            continue
+        if c in " \t\r":
+            i += 1
+            continue
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                raise CompileError("unterminated block comment", line)
+            line += source.count("\n", i, end)
+            i = end + 2
+            continue
+        if c.isalpha() or c == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            text = source[i:j]
+            kind = "keyword" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, line))
+            i = j
+            continue
+        if c.isdigit() or (c == "." and i + 1 < n and source[i + 1].isdigit()):
+            j = i
+            is_float = False
+            if source.startswith("0x", i) or source.startswith("0X", i):
+                j = i + 2
+                while j < n and source[j] in "0123456789abcdefABCDEF":
+                    j += 1
+                value = int(source[i:j], 16)
+                tokens.append(Token("int", source[i:j], line, value))
+                i = _skip_int_suffix(source, j)
+                continue
+            while j < n and source[j].isdigit():
+                j += 1
+            if j < n and source[j] == ".":
+                is_float = True
+                j += 1
+                while j < n and source[j].isdigit():
+                    j += 1
+            if j < n and source[j] in "eE":
+                is_float = True
+                j += 1
+                if j < n and source[j] in "+-":
+                    j += 1
+                while j < n and source[j].isdigit():
+                    j += 1
+            text = source[i:j]
+            if is_float:
+                tokens.append(Token("float", text, line, float(text)))
+            else:
+                tokens.append(Token("int", text, line, int(text)))
+            i = _skip_int_suffix(source, j)
+            continue
+        if c == "'":
+            value, j = _read_char_literal(source, i, line)
+            tokens.append(Token("char", source[i:j], line, value))
+            i = j
+            continue
+        if c == '"':
+            value, j = _read_string_literal(source, i, line)
+            tokens.append(Token("string", source[i:j], line, value))
+            i = j
+            continue
+        for op in OPERATORS:
+            if source.startswith(op, i):
+                tokens.append(Token("op", op, line))
+                i += len(op)
+                break
+        else:
+            raise CompileError(f"unexpected character {c!r}", line)
+    tokens.append(Token("eof", "", line))
+    return tokens
+
+
+def _skip_int_suffix(source: str, i: int) -> int:
+    while i < len(source) and source[i] in "uUlL":
+        i += 1
+    return i
+
+
+_ESCAPES = {
+    "n": 10, "t": 9, "r": 13, "0": 0, "\\": 92, "'": 39, '"': 34,
+    "a": 7, "b": 8, "f": 12, "v": 11,
+}
+
+
+def _read_char_literal(source: str, i: int, line: int):
+    j = i + 1
+    if j >= len(source):
+        raise CompileError("unterminated char literal", line)
+    if source[j] == "\\":
+        j += 1
+        escape = source[j]
+        if escape not in _ESCAPES:
+            raise CompileError(f"unknown escape \\{escape}", line)
+        value = _ESCAPES[escape]
+        j += 1
+    else:
+        value = ord(source[j])
+        j += 1
+    if j >= len(source) or source[j] != "'":
+        raise CompileError("unterminated char literal", line)
+    return value, j + 1
+
+
+def _read_string_literal(source: str, i: int, line: int):
+    j = i + 1
+    out = bytearray()
+    while j < len(source) and source[j] != '"':
+        if source[j] == "\\":
+            j += 1
+            escape = source[j]
+            if escape not in _ESCAPES:
+                raise CompileError(f"unknown escape \\{escape}", line)
+            out.append(_ESCAPES[escape])
+            j += 1
+        elif source[j] == "\n":
+            raise CompileError("newline in string literal", line)
+        else:
+            out.append(ord(source[j]))
+            j += 1
+    if j >= len(source):
+        raise CompileError("unterminated string literal", line)
+    return bytes(out), j + 1

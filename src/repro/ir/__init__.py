@@ -1,0 +1,90 @@
+"""Mini-IR: an SSA intermediate representation in the style of LLVM 12.
+
+Public surface:
+
+* :mod:`repro.ir.types` -- the type system and data layout.
+* :mod:`repro.ir.values` -- values, constants, use-def chains.
+* :mod:`repro.ir.instructions` -- the instruction set.
+* :mod:`repro.ir.module` -- basic blocks, functions, globals, modules,
+  linking.
+* :class:`repro.ir.IRBuilder` -- construction/rewriting API.
+* :func:`repro.ir.verify_module` -- structural and SSA verification.
+"""
+
+from .builder import IRBuilder
+from .instructions import (
+    Alloca,
+    BinOp,
+    Br,
+    Call,
+    Cast,
+    CondBr,
+    FCmp,
+    GEP,
+    ICmp,
+    Instruction,
+    Load,
+    Phi,
+    Ret,
+    Select,
+    Store,
+    Unreachable,
+)
+from .module import BasicBlock, Function, GlobalVariable, Module
+from .parser import parse_module
+from .printer import format_function, format_instruction, format_module
+from .types import (
+    ArrayType,
+    FloatType,
+    FunctionType,
+    IntType,
+    PointerType,
+    StructType,
+    Type,
+    VoidType,
+    F32,
+    F64,
+    I1,
+    I8,
+    I16,
+    I32,
+    I64,
+    POINTER_BITS,
+    POINTER_SIZE,
+    VOID,
+    align_of,
+    ptr,
+    size_of,
+    struct_field_offset,
+)
+from .values import (
+    Argument,
+    Constant,
+    ConstantArray,
+    ConstantFloat,
+    ConstantInt,
+    ConstantNull,
+    ConstantString,
+    ConstantStruct,
+    ConstantZero,
+    UndefValue,
+    Use,
+    User,
+    Value,
+)
+from .verifier import VerificationError, verify_function, verify_module
+
+__all__ = [
+    "Alloca", "Argument", "ArrayType", "BasicBlock", "BinOp", "Br", "Call",
+    "Cast", "CondBr", "Constant", "ConstantArray", "ConstantFloat",
+    "ConstantInt", "ConstantNull", "ConstantString", "ConstantStruct",
+    "ConstantZero", "F32", "F64", "FCmp", "FloatType", "Function",
+    "FunctionType", "GEP", "GlobalVariable", "I1", "I16", "I32", "I64",
+    "I8", "ICmp", "IRBuilder", "Instruction", "IntType", "Load", "Module",
+    "POINTER_BITS", "POINTER_SIZE", "Phi", "PointerType", "Ret", "Select",
+    "Store", "StructType", "Type", "UndefValue", "Unreachable", "Use",
+    "User", "VOID", "Value", "VerificationError", "VoidType", "align_of",
+    "format_function", "format_instruction", "format_module",
+    "parse_module", "ptr",
+    "size_of", "struct_field_offset", "verify_function", "verify_module",
+]

@@ -1,0 +1,221 @@
+"""IRBuilder: convenience API for constructing and rewriting IR.
+
+Both the MiniC frontend and the instrumentation mechanisms build code
+through this class.  The builder maintains an insertion point (a block
+and an index into it) and provides one method per instruction, plus
+constant factories and a few composite helpers (``gep_byte`` for raw
+byte offsets, ``ptr_diff`` etc.).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from .instructions import (
+    Alloca,
+    BinOp,
+    Br,
+    Call,
+    Cast,
+    CondBr,
+    FCmp,
+    GEP,
+    ICmp,
+    Instruction,
+    Load,
+    Phi,
+    Ret,
+    Select,
+    Store,
+    Unreachable,
+)
+from .module import BasicBlock, Function
+from .types import (
+    FloatType,
+    IntType,
+    PointerType,
+    Type,
+    I1,
+    I8,
+    I32,
+    I64,
+)
+from .values import (
+    ConstantFloat,
+    ConstantInt,
+    ConstantNull,
+    UndefValue,
+    Value,
+)
+
+
+class IRBuilder:
+    def __init__(self, block: Optional[BasicBlock] = None):
+        self._block: Optional[BasicBlock] = None
+        self._index: int = 0
+        if block is not None:
+            self.position_at_end(block)
+
+    # -- insertion point ------------------------------------------------
+    @property
+    def block(self) -> BasicBlock:
+        assert self._block is not None, "builder has no insertion point"
+        return self._block
+
+    @property
+    def function(self) -> Function:
+        fn = self.block.parent
+        assert fn is not None
+        return fn
+
+    def position_at_end(self, block: BasicBlock) -> None:
+        self._block = block
+        self._index = len(block.instructions)
+
+    def position_at_start(self, block: BasicBlock) -> None:
+        self._block = block
+        self._index = block.first_non_phi_index()
+
+    def position_before(self, inst: Instruction) -> None:
+        assert inst.parent is not None
+        self._block = inst.parent
+        self._index = inst.parent.index_of(inst)
+
+    def position_after(self, inst: Instruction) -> None:
+        assert inst.parent is not None
+        self._block = inst.parent
+        self._index = inst.parent.index_of(inst) + 1
+
+    def insert(self, inst: Instruction) -> Instruction:
+        self.block.insert(self._index, inst)
+        self._index += 1
+        return inst
+
+    # -- constants --------------------------------------------------------
+    def const_int(self, value: int, ty: IntType = I64) -> ConstantInt:
+        return ConstantInt(ty, value)
+
+    def const_i32(self, value: int) -> ConstantInt:
+        return ConstantInt(I32, value)
+
+    def const_i64(self, value: int) -> ConstantInt:
+        return ConstantInt(I64, value)
+
+    def const_float(self, value: float, ty: FloatType) -> ConstantFloat:
+        return ConstantFloat(ty, value)
+
+    def null(self, ty: PointerType) -> ConstantNull:
+        return ConstantNull(ty)
+
+    def undef(self, ty: Type) -> UndefValue:
+        return UndefValue(ty)
+
+    # -- memory -------------------------------------------------------------
+    def alloca(self, ty: Type, count: Optional[Value] = None, name: str = "") -> Alloca:
+        inst = Alloca(ty, count, name or self.function.next_name("a"))
+        return self.insert(inst)  # type: ignore[return-value]
+
+    def load(self, pointer: Value, name: str = "") -> Load:
+        return self.insert(Load(pointer, name or self.function.next_name("l")))  # type: ignore[return-value]
+
+    def store(self, value: Value, pointer: Value) -> Store:
+        return self.insert(Store(value, pointer))  # type: ignore[return-value]
+
+    def gep(self, pointer: Value, indices: Sequence[Value], name: str = "") -> GEP:
+        return self.insert(GEP(pointer, indices, name or self.function.next_name("g")))  # type: ignore[return-value]
+
+    def gep_index(self, pointer: Value, *indices: int, name: str = "") -> GEP:
+        """GEP with all-constant i64 indices."""
+        consts: List[Value] = [self.const_i64(i) for i in indices]
+        return self.gep(pointer, consts, name)
+
+    # -- SSA / selection -----------------------------------------------------
+    def phi(self, ty: Type, name: str = "") -> Phi:
+        inst = Phi(ty, name or self.function.next_name("p"))
+        # Phis must be at the start of the block.
+        self.block.insert(len(self.block.phis()), inst)
+        if self._block is inst.parent:
+            self._index += 1
+        return inst
+
+    def select(self, cond: Value, a: Value, b: Value, name: str = "") -> Select:
+        return self.insert(Select(cond, a, b, name or self.function.next_name("s")))  # type: ignore[return-value]
+
+    # -- arithmetic -----------------------------------------------------------
+    def binop(self, op: str, lhs: Value, rhs: Value, name: str = "") -> BinOp:
+        return self.insert(BinOp(op, lhs, rhs, name or self.function.next_name("v")))  # type: ignore[return-value]
+
+    def add(self, lhs: Value, rhs: Value, name: str = "") -> BinOp:
+        return self.binop("add", lhs, rhs, name)
+
+    def sub(self, lhs: Value, rhs: Value, name: str = "") -> BinOp:
+        return self.binop("sub", lhs, rhs, name)
+
+    def mul(self, lhs: Value, rhs: Value, name: str = "") -> BinOp:
+        return self.binop("mul", lhs, rhs, name)
+
+    def and_(self, lhs: Value, rhs: Value, name: str = "") -> BinOp:
+        return self.binop("and", lhs, rhs, name)
+
+    def or_(self, lhs: Value, rhs: Value, name: str = "") -> BinOp:
+        return self.binop("or", lhs, rhs, name)
+
+    def xor(self, lhs: Value, rhs: Value, name: str = "") -> BinOp:
+        return self.binop("xor", lhs, rhs, name)
+
+    def shl(self, lhs: Value, rhs: Value, name: str = "") -> BinOp:
+        return self.binop("shl", lhs, rhs, name)
+
+    def lshr(self, lhs: Value, rhs: Value, name: str = "") -> BinOp:
+        return self.binop("lshr", lhs, rhs, name)
+
+    def icmp(self, pred: str, lhs: Value, rhs: Value, name: str = "") -> ICmp:
+        return self.insert(ICmp(pred, lhs, rhs, name or self.function.next_name("c")))  # type: ignore[return-value]
+
+    def fcmp(self, pred: str, lhs: Value, rhs: Value, name: str = "") -> FCmp:
+        return self.insert(FCmp(pred, lhs, rhs, name or self.function.next_name("c")))  # type: ignore[return-value]
+
+    # -- casts ---------------------------------------------------------------
+    def cast(self, op: str, value: Value, dest: Type, name: str = "") -> Value:
+        if value.type == dest and op == "bitcast":
+            return value
+        return self.insert(Cast(op, value, dest, name or self.function.next_name("x")))
+
+    def ptrtoint(self, value: Value, dest: IntType = I64, name: str = "") -> Value:
+        return self.cast("ptrtoint", value, dest, name)
+
+    def inttoptr(self, value: Value, dest: PointerType, name: str = "") -> Value:
+        return self.cast("inttoptr", value, dest, name)
+
+    def bitcast(self, value: Value, dest: Type, name: str = "") -> Value:
+        return self.cast("bitcast", value, dest, name)
+
+    def zext(self, value: Value, dest: IntType, name: str = "") -> Value:
+        return self.cast("zext", value, dest, name)
+
+    def sext(self, value: Value, dest: IntType, name: str = "") -> Value:
+        return self.cast("sext", value, dest, name)
+
+    def trunc(self, value: Value, dest: IntType, name: str = "") -> Value:
+        return self.cast("trunc", value, dest, name)
+
+    # -- control flow ----------------------------------------------------------
+    def br(self, target: BasicBlock) -> Br:
+        return self.insert(Br(target))  # type: ignore[return-value]
+
+    def cond_br(self, cond: Value, true_block: BasicBlock, false_block: BasicBlock) -> CondBr:
+        return self.insert(CondBr(cond, true_block, false_block))  # type: ignore[return-value]
+
+    def ret(self, value: Optional[Value] = None) -> Ret:
+        return self.insert(Ret(value))  # type: ignore[return-value]
+
+    def unreachable(self) -> Unreachable:
+        return self.insert(Unreachable())  # type: ignore[return-value]
+
+    # -- calls ------------------------------------------------------------------
+    def call(self, callee: Value, args: Sequence[Value], name: str = "") -> Call:
+        from .types import FunctionType, VoidType
+
+        fnty = Call._callee_fnty(callee)
+        auto = "" if isinstance(fnty.ret, VoidType) else (name or self.function.next_name("r"))
+        return self.insert(Call(callee, args, auto))  # type: ignore[return-value]

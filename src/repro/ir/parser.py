@@ -1,0 +1,513 @@
+"""Parser for the mini-IR's textual form.
+
+Round-trips with :mod:`repro.ir.printer`: ``parse_module(format_module(m))``
+reconstructs an equivalent module.  Used by tests and for writing IR
+fixtures by hand; the frontend does not go through text.
+
+Grammar (line oriented)::
+
+    ; comments
+    %name = type {T, ...}
+    @name = <linkage> [nosize] global T <initializer>
+    @name = external [nosize] global T
+    declare[-native] RT @name(T %a, ...) [attrs]
+    define RT @name(T %a, ...) [attrs] {
+    label:
+      %x = <instruction>
+      ...
+    }
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import CompileError
+from .instructions import (
+    Alloca,
+    BINOPS,
+    BinOp,
+    Br,
+    Call,
+    CAST_OPS,
+    Cast,
+    CondBr,
+    FCMP_PREDICATES,
+    FCmp,
+    GEP,
+    ICMP_PREDICATES,
+    ICmp,
+    Load,
+    Phi,
+    Ret,
+    Select,
+    Store,
+    Unreachable,
+)
+from .module import BasicBlock, Function, GlobalVariable, Module
+from .types import (
+    ArrayType,
+    FloatType,
+    FunctionType,
+    IntType,
+    PointerType,
+    StructType,
+    Type,
+    VOID,
+)
+from .values import (
+    ConstantFloat,
+    ConstantInt,
+    ConstantNull,
+    ConstantString,
+    ConstantZero,
+    UndefValue,
+    Value,
+)
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<string>c"(?:[^"\\]|\\[0-9a-fA-F]{2})*") |
+    (?P<name>[%@][A-Za-z0-9._$-]+) |
+    (?P<float>-?\d+\.\d+(e[+-]?\d+)?|-?\binf\b|-?\bnan\b) |
+    (?P<int>-?\d+) |
+    (?P<word>[A-Za-z_][A-Za-z0-9_.-]*) |
+    (?P<punct>\.\.\.|[{}\[\]()=,*:;]) |
+    (?P<space>\s+)
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize_line(line: str) -> List[str]:
+    tokens = []
+    pos = 0
+    while pos < len(line):
+        match = _TOKEN_RE.match(line, pos)
+        if match is None:
+            raise CompileError(f"cannot tokenize IR: {line[pos:pos+20]!r}")
+        pos = match.end()
+        kind = match.lastgroup
+        if kind == "space":
+            continue
+        text = match.group()
+        if kind == "punct" and text == ";":
+            break  # comment to end of line
+        tokens.append(text)
+    return tokens
+
+
+class _LineParser:
+    """Parses one tokenized line with a tiny cursor API."""
+
+    def __init__(self, tokens: List[str], module_parser: "ModuleParser"):
+        self.tokens = tokens
+        self.pos = 0
+        self.mp = module_parser
+
+    @property
+    def current(self) -> Optional[str]:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def next(self) -> str:
+        token = self.current
+        if token is None:
+            raise CompileError("unexpected end of IR line")
+        self.pos += 1
+        return token
+
+    def accept(self, token: str) -> bool:
+        if self.current == token:
+            self.pos += 1
+            return True
+        return False
+
+    def expect(self, token: str) -> None:
+        got = self.next()
+        if got != token:
+            raise CompileError(f"expected {token!r} in IR, found {got!r}")
+
+    def at_type(self) -> bool:
+        token = self.current
+        if token is None:
+            return False
+        if token in ("void",) or re.fullmatch(r"i\d+|f32|f64", token):
+            return True
+        if token in ("[", "{"):
+            return True
+        return token.startswith("%") and token[1:] in self.mp.struct_types
+
+    # -- types -----------------------------------------------------------
+    def parse_type(self) -> Type:
+        token = self.next()
+        base: Type
+        if token == "void":
+            base = VOID
+        elif re.fullmatch(r"i\d+", token):
+            base = IntType(int(token[1:]))
+        elif token in ("f32", "f64"):
+            base = FloatType(32 if token == "f32" else 64)
+        elif token == "[":
+            count = int(self.next())
+            self.expect("x")
+            element = self.parse_type()
+            self.expect("]")
+            base = ArrayType(element, count)
+        elif token == "{":
+            fields = []
+            if self.current != "}":
+                fields.append(self.parse_type())
+                while self.accept(","):
+                    fields.append(self.parse_type())
+            self.expect("}")
+            base = StructType(None, fields)
+        elif token.startswith("%"):
+            base = self.mp.get_struct(token[1:])
+        else:
+            raise CompileError(f"unknown IR type token {token!r}")
+        while self.accept("*"):
+            base = PointerType(base)
+        return base
+
+    # -- values -----------------------------------------------------------
+    def parse_value(self, ty: Type) -> Value:
+        token = self.next()
+        if token.startswith("%"):
+            return self.mp.local(token[1:], ty)
+        if token.startswith("@"):
+            return self.mp.global_ref(token[1:])
+        if token == "null":
+            assert isinstance(ty, PointerType)
+            return ConstantNull(ty)
+        if token == "undef":
+            return UndefValue(ty)
+        if token == "zeroinitializer":
+            return ConstantZero(ty)
+        if token.startswith('c"'):
+            return ConstantString(_decode_string(token[2:-1]))
+        if isinstance(ty, FloatType):
+            return ConstantFloat(ty, float(token))
+        if isinstance(ty, IntType):
+            return ConstantInt(ty, int(token))
+        raise CompileError(f"cannot parse constant {token!r} of type {ty}")
+
+    def parse_typed_value(self) -> Value:
+        ty = self.parse_type()
+        return self.parse_value(ty)
+
+
+def _decode_string(body: str) -> bytes:
+    out = bytearray()
+    i = 0
+    while i < len(body):
+        if body[i] == "\\":
+            out.append(int(body[i + 1 : i + 3], 16))
+            i += 3
+        else:
+            out.append(ord(body[i]))
+            i += 1
+    # printer appends the NUL explicitly; ConstantString re-adds one
+    if out and out[-1] == 0:
+        del out[-1]
+    return bytes(out)
+
+
+class ModuleParser:
+    def __init__(self, text: str):
+        self.lines = text.splitlines()
+        self.index = 0
+        self.module = Module("parsed")
+        self.struct_types: Dict[str, StructType] = {}
+        # per-function state
+        self.locals: Dict[str, Value] = {}
+        self.blocks: Dict[str, BasicBlock] = {}
+        self.pending_fixups: List[Tuple[object, int, str, Type]] = []
+
+    # -- module-level -----------------------------------------------------
+    def parse(self) -> Module:
+        while self.index < len(self.lines):
+            line = self.lines[self.index].strip()
+            self.index += 1
+            if not line or line.startswith(";"):
+                continue
+            tokens = _tokenize_line(line)
+            if not tokens:
+                continue
+            if tokens[0].startswith("%") and len(tokens) > 2 and tokens[2] == "type":
+                self._parse_struct_def(tokens)
+            elif tokens[0].startswith("@"):
+                self._parse_global(tokens)
+            elif tokens[0] in ("declare", "declare-native"):
+                self._parse_declaration(tokens)
+            elif tokens[0] == "define":
+                self._parse_definition(tokens, line)
+            else:
+                raise CompileError(f"cannot parse IR line: {line!r}")
+        return self.module
+
+    def get_struct(self, name: str) -> StructType:
+        sty = self.struct_types.get(name)
+        if sty is None:
+            sty = self.module.get_or_create_struct(name)
+            self.struct_types[name] = sty
+        return sty
+
+    def _parse_struct_def(self, tokens: List[str]) -> None:
+        name = tokens[0][1:]
+        lp = _LineParser(tokens[3:], self)  # skip "%name = type"
+        lp.expect("{")
+        fields = []
+        if lp.current != "}":
+            fields.append(lp.parse_type())
+            while lp.accept(","):
+                fields.append(lp.parse_type())
+        lp.expect("}")
+        self.get_struct(name).set_body(fields)
+
+    def _parse_global(self, tokens: List[str]) -> None:
+        name = tokens[0][1:]
+        lp = _LineParser(tokens[2:], self)  # skip "@name ="
+        linkage = lp.next()
+        nosize = lp.accept("nosize")
+        lp.expect("global")
+        value_type = lp.parse_type()
+        initializer = None
+        if linkage != "external" and lp.current is not None:
+            initializer = lp.parse_value(value_type)
+        self.module.add_global(name, value_type, initializer, linkage, nosize)
+
+    def _parse_signature(self, lp: _LineParser):
+        ret = lp.parse_type()
+        name_token = lp.next()
+        if not name_token.startswith("@"):
+            raise CompileError(f"expected function name, got {name_token!r}")
+        lp.expect("(")
+        params: List[Type] = []
+        arg_names: List[str] = []
+        vararg = False
+        if lp.current != ")":
+            while True:
+                if lp.accept("..."):
+                    vararg = True
+                    break
+                params.append(lp.parse_type())
+                token = lp.current
+                if token is not None and token.startswith("%"):
+                    arg_names.append(lp.next()[1:])
+                else:
+                    arg_names.append(f"arg{len(params) - 1}")
+                if not lp.accept(","):
+                    break
+        lp.expect(")")
+        attrs = set()
+        while lp.current is not None and lp.current not in ("{",):
+            attrs.add(lp.next())
+        return name_token[1:], FunctionType(ret, params, vararg), arg_names, attrs
+
+    def _parse_declaration(self, tokens: List[str]) -> None:
+        native = tokens[0] == "declare-native"
+        lp = _LineParser(tokens[1:], self)
+        name, fnty, arg_names, attrs = self._parse_signature(lp)
+        fn = self.module.get_or_declare_function(name, fnty, attrs)
+        fn.native = native
+        if arg_names:
+            for arg, arg_name in zip(fn.args, arg_names):
+                arg.name = arg_name
+
+    def _parse_definition(self, tokens: List[str], line: str) -> None:
+        lp = _LineParser(tokens[1:], self)
+        name, fnty, arg_names, attrs = self._parse_signature(lp)
+        fn = self.module.add_function(name, fnty, arg_names)
+        fn.attributes.update(attrs)
+        self.locals = {a.name: a for a in fn.args}
+        self.blocks = {}
+        self.pending_fixups = []
+        body: List[str] = []
+        while self.index < len(self.lines):
+            inner = self.lines[self.index].strip()
+            self.index += 1
+            if inner == "}":
+                break
+            if inner and not inner.startswith(";"):
+                body.append(inner)
+        # First pass: create blocks.
+        current_label = None
+        grouped: List[Tuple[str, List[str]]] = []
+        for inner in body:
+            if inner.endswith(":") and " " not in inner:
+                current_label = inner[:-1]
+                block = BasicBlock(current_label, fn)
+                fn.blocks.append(block)
+                self.blocks[current_label] = block
+                grouped.append((current_label, []))
+            else:
+                if not grouped:
+                    raise CompileError(f"instruction before label in @{name}")
+                grouped[-1][1].append(inner)
+        # Second pass: instructions.
+        for label, lines in grouped:
+            block = self.blocks[label]
+            for inst_line in lines:
+                inst = self._parse_instruction(inst_line)
+                block.append(inst)
+        # Resolve forward references.
+        for user, idx, ref, ty in self.pending_fixups:
+            if ref not in self.locals:
+                raise CompileError(f"undefined local %{ref} in @{name}")
+            user.set_operand(idx, self.locals[ref])
+
+    def local(self, name: str, ty: Type) -> Value:
+        value = self.locals.get(name)
+        if value is not None:
+            return value
+        # Forward reference: create a placeholder undef; fixed up later.
+        placeholder = UndefValue(ty)
+        placeholder.name = f"__fwd_{name}"
+        self._forward_refs.setdefault(name, []).append(placeholder)
+        return placeholder
+
+    def global_ref(self, name: str) -> Value:
+        gv = self.module.get_global(name)
+        if gv is not None:
+            return gv
+        fn = self.module.get_function(name)
+        if fn is not None:
+            return fn
+        raise CompileError(f"undefined global @{name}")
+
+    # -- instructions -------------------------------------------------------
+    _forward_refs: Dict[str, List[UndefValue]] = {}
+
+    def _parse_instruction(self, line: str):
+        self._forward_refs = {}
+        tokens = _tokenize_line(line)
+        result_name = None
+        if len(tokens) > 1 and tokens[0].startswith("%") and tokens[1] == "=":
+            result_name = tokens[0][1:]
+            tokens = tokens[2:]
+        lp = _LineParser(tokens, self)
+        opcode = lp.next()
+        inst = self._build(opcode, lp)
+        if result_name is not None:
+            inst.name = result_name
+            self.locals[result_name] = inst
+        # Patch forward references created while parsing this line.
+        for ref, placeholders in self._forward_refs.items():
+            for placeholder in placeholders:
+                for i in range(inst.num_operands):
+                    if inst.operand(i) is placeholder:
+                        self.pending_fixups.append((inst, i, ref, placeholder.type))
+        return inst
+
+    def _build(self, opcode: str, lp: _LineParser):
+        if opcode == "alloca":
+            allocated = lp.parse_type()
+            count = None
+            if lp.accept(","):
+                lp.expect("count")
+                count = lp.parse_typed_value()
+            return Alloca(allocated, count)
+        if opcode == "load":
+            lp.parse_type()  # result type (redundant)
+            lp.expect(",")
+            pointer = lp.parse_typed_value()
+            return Load(pointer)
+        if opcode == "store":
+            value = lp.parse_typed_value()
+            lp.expect(",")
+            pointer = lp.parse_typed_value()
+            return Store(value, pointer)
+        if opcode == "gep":
+            pointer = lp.parse_typed_value()
+            indices = []
+            while lp.accept(","):
+                indices.append(lp.parse_typed_value())
+            return GEP(pointer, indices)
+        if opcode == "phi":
+            ty = lp.parse_type()
+            phi = Phi(ty)
+            while lp.accept("["):
+                value = lp.parse_value(ty)
+                lp.expect(",")
+                label = lp.next()[1:]
+                lp.expect("]")
+                phi.add_incoming(value, self._block_ref(label))
+                lp.accept(",")
+            return phi
+        if opcode == "select":
+            cond = lp.parse_typed_value()
+            lp.expect(",")
+            a = lp.parse_typed_value()
+            lp.expect(",")
+            b = lp.parse_typed_value()
+            return Select(cond, a, b)
+        if opcode in BINOPS:
+            ty = lp.parse_type()
+            lhs = lp.parse_value(ty)
+            lp.expect(",")
+            rhs = lp.parse_value(ty)
+            return BinOp(opcode, lhs, rhs)
+        if opcode == "icmp":
+            pred = lp.next()
+            if pred not in ICMP_PREDICATES:
+                raise CompileError(f"bad icmp predicate {pred!r}")
+            ty = lp.parse_type()
+            lhs = lp.parse_value(ty)
+            lp.expect(",")
+            rhs = lp.parse_value(ty)
+            return ICmp(pred, lhs, rhs)
+        if opcode == "fcmp":
+            pred = lp.next()
+            if pred not in FCMP_PREDICATES:
+                raise CompileError(f"bad fcmp predicate {pred!r}")
+            ty = lp.parse_type()
+            lhs = lp.parse_value(ty)
+            lp.expect(",")
+            rhs = lp.parse_value(ty)
+            return FCmp(pred, lhs, rhs)
+        if opcode in CAST_OPS:
+            value = lp.parse_typed_value()
+            lp.expect("to")
+            dest = lp.parse_type()
+            return Cast(opcode, value, dest)
+        if opcode == "ret":
+            if lp.current == "void":
+                return Ret()
+            return Ret(lp.parse_typed_value())
+        if opcode == "br":
+            # unconditional: "br %target"; conditional: "br i1 %c, %t, %f"
+            remaining = len(lp.tokens) - lp.pos
+            if remaining == 1:
+                return Br(self._block_ref(lp.next()[1:]))
+            cond = lp.parse_typed_value()
+            lp.expect(",")
+            t = self._block_ref(lp.next()[1:])
+            lp.expect(",")
+            f = self._block_ref(lp.next()[1:])
+            return CondBr(cond, t, f)
+        if opcode == "unreachable":
+            return Unreachable()
+        if opcode == "call":
+            lp.parse_type()  # return type (redundant)
+            callee = self.global_ref(lp.next()[1:])
+            lp.expect("(")
+            args = []
+            if lp.current != ")":
+                args.append(lp.parse_typed_value())
+                while lp.accept(","):
+                    args.append(lp.parse_typed_value())
+            lp.expect(")")
+            return Call(callee, args)
+        raise CompileError(f"unknown IR opcode {opcode!r}")
+
+    def _block_ref(self, label: str) -> BasicBlock:
+        block = self.blocks.get(label)
+        if block is None:
+            raise CompileError(f"undefined block label %{label}")
+        return block
+
+
+def parse_module(text: str) -> Module:
+    """Parse the printer's textual form back into a module."""
+    return ModuleParser(text).parse()

@@ -1,0 +1,181 @@
+"""Textual printer for the mini-IR.
+
+Produces an LLVM-flavoured textual form that is round-trippable through
+:mod:`repro.ir.parser`.  The printer is also used for ``__str__`` on
+instructions, functions, and modules, which makes failing tests easy to
+read.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .instructions import (
+    Alloca,
+    BinOp,
+    Br,
+    Call,
+    Cast,
+    CondBr,
+    FCmp,
+    GEP,
+    ICmp,
+    Instruction,
+    Load,
+    Phi,
+    Ret,
+    Select,
+    Store,
+    Unreachable,
+)
+from .module import BasicBlock, Function, GlobalVariable, Module
+from .types import FunctionType, VoidType
+from .values import (
+    Argument,
+    Constant,
+    ConstantArray,
+    ConstantFloat,
+    ConstantInt,
+    ConstantNull,
+    ConstantString,
+    ConstantStruct,
+    ConstantZero,
+    UndefValue,
+    Value,
+)
+
+
+def _value_ref(value: Value) -> str:
+    """Render a value as an operand reference."""
+    if isinstance(value, (Function, GlobalVariable)):
+        return f"@{value.name}"
+    if isinstance(value, Constant):
+        return str(value)
+    if isinstance(value, BasicBlock):
+        return f"%{value.name}"
+    return f"%{value.name}"
+
+
+def _typed_ref(value: Value) -> str:
+    return f"{value.type} {_value_ref(value)}"
+
+
+def format_instruction(inst: Instruction) -> str:
+    def result_prefix() -> str:
+        if isinstance(inst.type, VoidType):
+            return ""
+        return f"%{inst.name} = "
+
+    if isinstance(inst, Alloca):
+        count = f", count {_typed_ref(inst.count)}" if inst.count is not None else ""
+        return f"{result_prefix()}alloca {inst.allocated_type}{count}"
+    if isinstance(inst, Load):
+        return f"{result_prefix()}load {inst.type}, {_typed_ref(inst.pointer)}"
+    if isinstance(inst, Store):
+        return f"store {_typed_ref(inst.value)}, {_typed_ref(inst.pointer)}"
+    if isinstance(inst, GEP):
+        idx = ", ".join(_typed_ref(i) for i in inst.indices)
+        return f"{result_prefix()}gep {_typed_ref(inst.pointer)}, {idx}"
+    if isinstance(inst, Phi):
+        arms = ", ".join(
+            f"[{_value_ref(v)}, %{b.name}]" for v, b in inst.incoming
+        )
+        return f"{result_prefix()}phi {inst.type} {arms}"
+    if isinstance(inst, Select):
+        return (
+            f"{result_prefix()}select {_typed_ref(inst.condition)}, "
+            f"{_typed_ref(inst.true_value)}, {_typed_ref(inst.false_value)}"
+        )
+    if isinstance(inst, BinOp):
+        return f"{result_prefix()}{inst.opcode} {inst.type} {_value_ref(inst.lhs)}, {_value_ref(inst.rhs)}"
+    if isinstance(inst, ICmp):
+        return f"{result_prefix()}icmp {inst.predicate} {inst.lhs.type} {_value_ref(inst.lhs)}, {_value_ref(inst.rhs)}"
+    if isinstance(inst, FCmp):
+        return f"{result_prefix()}fcmp {inst.predicate} {inst.lhs.type} {_value_ref(inst.lhs)}, {_value_ref(inst.rhs)}"
+    if isinstance(inst, Cast):
+        return f"{result_prefix()}{inst.opcode} {_typed_ref(inst.value)} to {inst.type}"
+    if isinstance(inst, Ret):
+        if inst.value is None:
+            return "ret void"
+        return f"ret {_typed_ref(inst.value)}"
+    if isinstance(inst, Br):
+        return f"br %{inst.target.name}"
+    if isinstance(inst, CondBr):
+        return f"br {_typed_ref(inst.condition)}, %{inst.true_block.name}, %{inst.false_block.name}"
+    if isinstance(inst, Unreachable):
+        return "unreachable"
+    if isinstance(inst, Call):
+        args = ", ".join(_typed_ref(a) for a in inst.args)
+        fnty = Call._callee_fnty(inst.callee)
+        return f"{result_prefix()}call {fnty.ret} {_value_ref(inst.callee)}({args})"
+    raise ValueError(f"cannot print instruction: {inst!r}")
+
+
+def _assign_names(fn: Function) -> None:
+    """Ensure all values and blocks in the function have unique names."""
+    seen: Dict[str, int] = {}
+
+    def uniquify(name: str) -> str:
+        if name not in seen:
+            seen[name] = 0
+            return name
+        seen[name] += 1
+        return f"{name}.{seen[name]}"
+
+    for arg in fn.args:
+        arg.name = uniquify(arg.name or f"arg{arg.index}")
+    for block in fn.blocks:
+        block.name = uniquify(block.name or "bb")
+    counter = 0
+    for inst in fn.instructions():
+        if isinstance(inst.type, VoidType):
+            continue
+        if not inst.name:
+            inst.name = f"v{counter}"
+            counter += 1
+        inst.name = uniquify(inst.name)
+
+
+def format_function(fn: Function) -> str:
+    fnty = fn.fnty
+    params = ", ".join(f"{a.type} %{a.name or a.index}" for a in fn.args)
+    if fnty.vararg:
+        params = f"{params}, ..." if params else "..."
+    attrs = (" " + " ".join(sorted(fn.attributes))) if fn.attributes else ""
+    header = f"{fnty.ret} @{fn.name}({params}){attrs}"
+    if fn.native:
+        return f"declare-native {header}"
+    if fn.is_declaration:
+        return f"declare {header}"
+    _assign_names(fn)
+    lines = [f"define {header} {{"]
+    for block in fn.blocks:
+        lines.append(f"{block.name}:")
+        for inst in block.instructions:
+            lines.append(f"  {format_instruction(inst)}")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def format_global(gv: GlobalVariable) -> str:
+    size_note = " nosize" if gv.declared_without_size else ""
+    if gv.initializer is None:
+        return f"@{gv.name} = external{size_note} global {gv.value_type}"
+    return f"@{gv.name} = {gv.linkage}{size_note} global {gv.value_type} {gv.initializer}"
+
+
+def format_module(mod: Module) -> str:
+    lines = [f"; module {mod.name}"]
+    for name, sty in sorted(mod.struct_types.items()):
+        fields = ", ".join(str(f) for f in sty.fields)
+        lines.append(f"%{name} = type {{{fields}}}")
+    for gv in mod.globals.values():
+        lines.append(format_global(gv))
+    # Declarations first, so the text parses in one forward pass.
+    ordered = sorted(
+        mod.functions.values(), key=lambda f: not (f.is_declaration or f.native)
+    )
+    for fn in ordered:
+        lines.append("")
+        lines.append(format_function(fn))
+    return "\n".join(lines) + "\n"

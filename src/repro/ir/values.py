@@ -1,0 +1,242 @@
+"""Value hierarchy for the mini-IR.
+
+Everything an instruction can reference is a :class:`Value`: constants,
+function arguments, basic blocks (as branch targets), global objects and
+other instructions.  Values track their users, which enables
+``replace_all_uses_with`` -- the workhorse of the optimizer and the
+instrumentation passes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, TYPE_CHECKING
+
+from .types import (
+    ArrayType,
+    FloatType,
+    IntType,
+    PointerType,
+    StructType,
+    Type,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .instructions import Instruction
+
+
+class Use:
+    """A single operand slot of a user referencing a value."""
+
+    __slots__ = ("user", "index")
+
+    def __init__(self, user: "User", index: int):
+        self.user = user
+        self.index = index
+
+
+class Value:
+    """Base class for everything that can appear as an operand."""
+
+    def __init__(self, ty: Type, name: str = ""):
+        self.type = ty
+        self.name = name
+        self.uses: List[Use] = []
+
+    # -- use tracking -------------------------------------------------
+    def add_use(self, use: Use) -> None:
+        self.uses.append(use)
+
+    def remove_use(self, use: Use) -> None:
+        # Identity-based removal: a user may reference the same value
+        # through several operand slots.
+        for i, u in enumerate(self.uses):
+            if u is use:
+                del self.uses[i]
+                return
+        raise ValueError(f"use not found on {self!r}")
+
+    @property
+    def num_uses(self) -> int:
+        return len(self.uses)
+
+    def users(self) -> Iterable["User"]:
+        """All users, deduplicated, in first-use order."""
+        seen = set()
+        for use in self.uses:
+            if id(use.user) not in seen:
+                seen.add(id(use.user))
+                yield use.user
+
+    def replace_all_uses_with(self, new: "Value") -> None:
+        if new is self:
+            return
+        for use in list(self.uses):
+            use.user.set_operand(use.index, new)
+
+    def short_name(self) -> str:
+        return f"%{self.name}" if self.name else "%<unnamed>"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.short_name()}: {self.type}>"
+
+
+class User(Value):
+    """A value that references other values through operands."""
+
+    def __init__(self, ty: Type, operands: Iterable[Value], name: str = ""):
+        super().__init__(ty, name)
+        self._operands: List[Value] = []
+        self._uses: List[Use] = []
+        for op in operands:
+            self.append_operand(op)
+
+    @property
+    def operands(self) -> List[Value]:
+        return list(self._operands)
+
+    @property
+    def num_operands(self) -> int:
+        return len(self._operands)
+
+    def operand(self, index: int) -> Value:
+        return self._operands[index]
+
+    def set_operand(self, index: int, value: Value) -> None:
+        old = self._operands[index]
+        old.remove_use(self._uses[index])
+        self._operands[index] = value
+        value.add_use(self._uses[index])
+
+    def append_operand(self, value: Value) -> None:
+        use = Use(self, len(self._operands))
+        self._operands.append(value)
+        self._uses.append(use)
+        value.add_use(use)
+
+    def remove_operand(self, index: int) -> None:
+        self._operands[index].remove_use(self._uses[index])
+        del self._operands[index]
+        del self._uses[index]
+        for i in range(index, len(self._uses)):
+            self._uses[i].index = i
+
+    def drop_all_operands(self) -> None:
+        """Detach this user from all operands (used when erasing)."""
+        while self._operands:
+            self.remove_operand(len(self._operands) - 1)
+
+
+# ---------------------------------------------------------------------
+# Constants
+# ---------------------------------------------------------------------
+
+
+class Constant(Value):
+    """Base class of compile-time constant values."""
+
+
+class ConstantInt(Constant):
+    def __init__(self, ty: IntType, value: int):
+        super().__init__(ty)
+        # Store the canonical unsigned representation.
+        self.value = value & ty.mask
+
+    @property
+    def signed_value(self) -> int:
+        ty = self.type
+        assert isinstance(ty, IntType)
+        if self.value > ty.max_signed:
+            return self.value - (1 << ty.bits)
+        return self.value
+
+    def is_zero(self) -> bool:
+        return self.value == 0
+
+    def __str__(self) -> str:
+        return str(self.signed_value)
+
+
+class ConstantFloat(Constant):
+    def __init__(self, ty: FloatType, value: float):
+        super().__init__(ty)
+        self.value = float(value)
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+class ConstantNull(Constant):
+    """The null pointer of a given pointer type."""
+
+    def __init__(self, ty: PointerType):
+        super().__init__(ty)
+
+    def __str__(self) -> str:
+        return "null"
+
+
+class UndefValue(Constant):
+    """An unspecified value of a first-class type."""
+
+    def __str__(self) -> str:
+        return "undef"
+
+
+class ConstantZero(Constant):
+    """A zero-initializer for any type (LLVM's ``zeroinitializer``)."""
+
+    def __str__(self) -> str:
+        return "zeroinitializer"
+
+
+class ConstantArray(Constant):
+    def __init__(self, ty: ArrayType, elements: Iterable[Constant]):
+        super().__init__(ty)
+        self.elements: List[Constant] = list(elements)
+        if len(self.elements) != ty.count:
+            raise ValueError("constant array length mismatch")
+
+    def __str__(self) -> str:
+        inner = ", ".join(f"{e.type} {e}" for e in self.elements)
+        return f"[{inner}]"
+
+
+class ConstantStruct(Constant):
+    def __init__(self, ty: StructType, fields: Iterable[Constant]):
+        super().__init__(ty)
+        self.fields: List[Constant] = list(fields)
+        if len(self.fields) != len(ty.fields):
+            raise ValueError("constant struct field count mismatch")
+
+    def __str__(self) -> str:
+        inner = ", ".join(f"{f.type} {f}" for f in self.fields)
+        return "{" + inner + "}"
+
+
+class ConstantString(Constant):
+    """A NUL-terminated byte string constant (for string literals)."""
+
+    def __init__(self, data: bytes):
+        ty = ArrayType(IntType(8), len(data) + 1)
+        super().__init__(ty)
+        self.data = data + b"\x00"
+
+    def __str__(self) -> str:
+        printable = self.data.decode("latin-1")
+        escaped = "".join(
+            c if 32 <= ord(c) < 127 and c not in '"\\' else f"\\{ord(c):02x}"
+            for c in printable
+        )
+        return f'c"{escaped}"'
+
+
+class Argument(Value):
+    """A formal parameter of a function."""
+
+    def __init__(self, ty: Type, name: str, index: int, parent=None):
+        super().__init__(ty, name)
+        self.index = index
+        self.parent = parent
+
+    def __str__(self) -> str:
+        return f"%{self.name}"

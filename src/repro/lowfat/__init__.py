@@ -1,0 +1,7 @@
+"""Low-Fat Pointers: region layout, allocator, and runtime."""
+
+from . import layout
+from .allocator import LowFatAllocator
+from .runtime import LowFatRuntime
+
+__all__ = ["LowFatAllocator", "LowFatRuntime", "layout"]

@@ -1,0 +1,138 @@
+"""Low-Fat Pointers runtime: the natives the instrumented code calls.
+
+The Low-Fat mechanism (:mod:`repro.core.lf_mechanism`) lowers its
+instrumentation targets into calls to the natives registered here:
+
+* ``__lf_malloc`` / ``__lf_calloc`` / ``__lf_realloc`` / ``__lf_free``
+  -- the custom allocator ("use custom malloc" in Table 1);
+* ``__lf_alloca`` -- region-backed stack allocation replacing
+  ``alloca`` ("mirror, replace");
+* ``__lf_compute_base`` -- recover the witness base from a pointer
+  value (Figure 4 arithmetic); returns the NO_BASE sentinel for
+  non-low-fat pointers (wide bounds);
+* ``__lf_check`` -- the dereference check of Figure 5;
+* ``__lf_invariant_check`` -- the escape check establishing the
+  in-bounds invariant at stores/calls/returns/ptr-to-int casts
+  (Sections 3.3 and 4.2).
+
+The runtime also supplies the VM's global placer so global variables
+are mirrored into low-fat regions (Duck & Yap 2018).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, TYPE_CHECKING
+
+from ..errors import MemSafetyViolation
+from ..vm.stats import RuntimeStats
+from . import layout
+from .allocator import LowFatAllocator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..vm.interpreter import VirtualMachine
+
+
+class LowFatRuntime:
+    def __init__(self, region_capacity: Optional[int] = None):
+        self.region_capacity = region_capacity
+        self.allocator: Optional[LowFatAllocator] = None
+        self.vm: Optional["VirtualMachine"] = None
+
+    # -- installation ------------------------------------------------------
+    def install(self, vm: "VirtualMachine") -> None:
+        self.vm = vm
+        self.allocator = LowFatAllocator(
+            vm.memory, vm.heap, vm.stats, self.region_capacity
+        )
+        vm.register_native("__lf_malloc", self._malloc)
+        vm.register_native("__lf_calloc", self._calloc)
+        vm.register_native("__lf_realloc", self._realloc)
+        vm.register_native("__lf_free", self._free)
+        vm.register_native("__lf_alloca", self._alloca)
+        vm.register_native("__lf_compute_base", self._compute_base)
+        vm.register_native("__lf_check", self._check)
+        vm.register_native("__lf_invariant_check", self._invariant_check)
+        vm.global_placer = self._place_global
+
+    # -- allocation ----------------------------------------------------------
+    def _malloc(self, vm: "VirtualMachine", args: List[int]) -> int:
+        return self.allocator.malloc(args[0]).base
+
+    def _calloc(self, vm: "VirtualMachine", args: List[int]) -> int:
+        count, size = args
+        return self.allocator.malloc(count * size).base
+
+    def _realloc(self, vm: "VirtualMachine", args: List[int]) -> int:
+        old_ptr, new_size = args
+        new_alloc = self.allocator.malloc(new_size)
+        if old_ptr != 0:
+            old_alloc = vm.memory.find(old_ptr)
+            if old_alloc is not None:
+                n = min(old_alloc.size, new_size)
+                new_alloc.data[0:n] = old_alloc.data[0:n]
+                self.allocator.free(old_ptr)
+        return new_alloc.base
+
+    def _free(self, vm: "VirtualMachine", args: List[int]) -> None:
+        self.allocator.free(args[0])
+        vm.stats.heap_frees += 1
+
+    def _alloca(self, vm: "VirtualMachine", args: List[int]) -> int:
+        alloc = self.allocator.stack_alloc(args[0])
+        vm.register_frame_cleanup(lambda: self.allocator.stack_release(alloc))
+        return alloc.base
+
+    def _place_global(self, size: int, name: str, external: bool = False):
+        if external:
+            # Globals of uninstrumented libraries are not mirrored into
+            # the low-fat regions (paper Section 4.3): accesses through
+            # them get wide bounds.
+            return self.vm.globals_allocator.allocate(size, name)
+        alloc = self.allocator.place_global(size, name)
+        if alloc is None:
+            return self.vm.globals_allocator.allocate(size, name)
+        return alloc
+
+    # -- witness arithmetic -----------------------------------------------------
+    def _compute_base(self, vm: "VirtualMachine", args: List[int]) -> int:
+        return layout.base_of(args[0])
+
+    # -- checks -------------------------------------------------------------------
+    def _check(self, vm: "VirtualMachine", args: List) -> None:
+        ptr, width, base = args[0], args[1], args[2]
+        site = args[3] if len(args) > 3 else None
+        region = layout.region_index(base)
+        size = layout.allocation_size(region)
+        if size == 0:
+            # Non-low-fat witness: wide bounds, access is unchecked.
+            vm.stats.record_check(str(site), wide=True)
+            return
+        vm.stats.record_check(str(site), wide=False)
+        if (ptr - base) % (1 << 64) > size - width:
+            raise MemSafetyViolation(
+                "deref",
+                "Low-Fat Pointers: access outside the witness allocation",
+                pointer=ptr, base=base, bound=base + size,
+                site=str(site),
+            )
+
+    def _invariant_check(self, vm: "VirtualMachine", args: List) -> None:
+        """Figure 5 arithmetic applied at escape points (width 1 would
+        reject one-past-the-end pointers, which the padded allocation
+        admits -- width 0 here, so base+size itself stays legal)."""
+        ptr, base = args[0], args[1]
+        site = args[2] if len(args) > 2 else None
+        vm.stats.invariant_checks += 1
+        region = layout.region_index(base)
+        size = layout.allocation_size(region)
+        if size == 0:
+            return  # non-low-fat pointer: no invariant to establish
+        if (ptr - base) % (1 << 64) > size:
+            raise MemSafetyViolation(
+                "invariant",
+                "Low-Fat Pointers: escaping pointer is out of bounds of "
+                "its object (out-of-bounds pointer arithmetic, cf. "
+                "paper Section 4.2)",
+                pointer=ptr, base=base, bound=base + size,
+                site=str(site),
+            )

@@ -1,0 +1,17 @@
+"""The mini-compiler's optimizer."""
+
+from .dce import DCE
+from .gvn import GVN
+from .inline import Inliner
+from .instcombine import InstCombine
+from .licm import LICM
+from .mem2reg import Mem2Reg
+from .pass_manager import FunctionPass, Pass, PassManager
+from .pipeline import EXTENSION_POINTS, build_pipeline, optimize
+from .simplifycfg import SimplifyCFG
+
+__all__ = [
+    "DCE", "EXTENSION_POINTS", "FunctionPass", "GVN", "Inliner",
+    "InstCombine", "LICM", "Mem2Reg", "Pass", "PassManager", "SimplifyCFG",
+    "build_pipeline", "optimize",
+]

@@ -1,0 +1,45 @@
+"""Dead code elimination.
+
+Removes instructions whose results are unused and that have no side
+effects.  Calls to ``readonly``/``readnone`` functions count as
+removable -- this implements the effect the paper observes in
+Section 5.4: when SoftBound's bounds metadata is loaded (a ``readonly``
+trie lookup) but no check consumes it, the compiler deletes the load,
+so metadata-only configurations underapproximate propagation costs.
+"""
+
+from __future__ import annotations
+
+from ..ir.instructions import Instruction
+from ..ir.module import Function
+from ..ir.types import VoidType
+from .pass_manager import FunctionPass
+
+
+def _is_trivially_dead(inst: Instruction) -> bool:
+    if isinstance(inst.type, VoidType):
+        return False
+    if inst.num_uses:
+        return False
+    return not inst.has_side_effects()
+
+
+class DCE(FunctionPass):
+    name = "dce"
+
+    def run_on_function(self, fn: Function) -> bool:
+        changed = False
+        # Iterate to a fixpoint: removing one instruction may make its
+        # operands dead.
+        worklist = [inst for inst in fn.instructions()]
+        while worklist:
+            inst = worklist.pop()
+            if inst.parent is None or not _is_trivially_dead(inst):
+                continue
+            operands = [
+                op for op in inst.operands if isinstance(op, Instruction)
+            ]
+            inst.erase_from_parent()
+            changed = True
+            worklist.extend(operands)
+        return changed

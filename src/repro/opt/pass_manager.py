@@ -1,0 +1,71 @@
+"""Pass manager for the mini-compiler.
+
+Passes transform IR modules/functions in place and report whether they
+changed anything.  The manager can verify the module after each pass
+(``verify_each``), which the test suite uses to catch pass bugs early,
+and collects per-pass statistics that the experiment harness reads
+(e.g. how many checks the dominance filter removed, Section 5.3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..ir.module import Function, Module
+from ..ir.verifier import verify_module
+
+
+class Pass:
+    """Base class: a named module transformation."""
+
+    name = "<pass>"
+
+    def run(self, module: Module) -> bool:
+        """Transform the module; return True if anything changed."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Pass {self.name}>"
+
+
+class FunctionPass(Pass):
+    """A pass that processes one function at a time."""
+
+    def run(self, module: Module) -> bool:
+        changed = False
+        for fn in list(module.functions.values()):
+            if fn.is_declaration or fn.native:
+                continue
+            changed |= self.run_on_function(fn)
+        return changed
+
+    def run_on_function(self, fn: Function) -> bool:
+        raise NotImplementedError
+
+
+class PassManager:
+    def __init__(self, passes: Optional[List[Pass]] = None, verify_each: bool = False):
+        self.passes: List[Pass] = list(passes) if passes else []
+        self.verify_each = verify_each
+        self.pass_stats: Dict[str, int] = {}
+
+    def add(self, pass_: Pass) -> "PassManager":
+        self.passes.append(pass_)
+        return self
+
+    def run(self, module: Module) -> bool:
+        changed = False
+        for pass_ in self.passes:
+            this_changed = pass_.run(module)
+            changed |= this_changed
+            self.pass_stats[pass_.name] = self.pass_stats.get(pass_.name, 0) + int(
+                this_changed
+            )
+            if self.verify_each:
+                try:
+                    verify_module(module)
+                except Exception as exc:  # pragma: no cover - debugging aid
+                    raise AssertionError(
+                        f"module invalid after pass {pass_.name}: {exc}"
+                    ) from exc
+        return changed

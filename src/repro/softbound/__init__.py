@@ -1,0 +1,14 @@
+"""SoftBound: trie metadata, shadow stack, runtime wrappers."""
+
+from .runtime import SoftBoundRuntime, WRAPPED_FUNCTIONS
+from .shadow_stack import ShadowStack, WIDE_BASE, WIDE_BOUND
+from .trie import MetadataTrie
+
+__all__ = [
+    "MetadataTrie",
+    "ShadowStack",
+    "SoftBoundRuntime",
+    "WIDE_BASE",
+    "WIDE_BOUND",
+    "WRAPPED_FUNCTIONS",
+]

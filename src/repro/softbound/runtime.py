@@ -1,0 +1,209 @@
+"""SoftBound runtime: trie + shadow stack natives and libc wrappers.
+
+The SoftBound mechanism (:mod:`repro.core.sb_mechanism`) lowers its
+instrumentation targets into calls to the natives registered here.
+
+Standard-library calls are redirected to *wrapper* natives
+(``__sb_wrap_malloc`` etc., paper Figure 6) that
+
+1. perform the underlying libc operation,
+2. maintain SoftBound's metadata (e.g. ``memcpy`` copies trie entries
+   for all pointer slots in the copied range; ``malloc`` publishes the
+   new allocation's bounds in the shadow-stack return slot), and
+3. optionally check the operation against the argument bounds from the
+   shadow stack (disabled by default for comparability, paper
+   Section 5.1.2).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, TYPE_CHECKING
+
+from ..errors import MemSafetyViolation
+from ..vm import native as libc
+from .shadow_stack import ShadowStack, WIDE_BASE, WIDE_BOUND
+from .trie import MetadataTrie
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..vm.interpreter import VirtualMachine
+
+U64 = (1 << 64) - 1
+
+#: libc functions that get wrappers, and how many leading pointer
+#: arguments each should be checked against its shadow-stack bounds
+#: (argument index -> length argument index or fixed semantics).
+WRAPPED_FUNCTIONS = (
+    "malloc", "calloc", "realloc", "free",
+    "memcpy", "memmove", "memset", "strcpy", "strlen", "strcmp",
+)
+
+
+class SoftBoundRuntime:
+    def __init__(
+        self,
+        missing_metadata_wide: bool = False,
+        wrapper_checks: bool = False,
+    ):
+        """``missing_metadata_wide``: bounds for pointer loads with no
+        trie entry (True: wide bounds = silent, False: NULL bounds =
+        spurious report on dereference; the paper discusses both).
+
+        ``wrapper_checks``: make libc wrappers check their arguments
+        (extra safety; disabled in the paper's runtime comparison)."""
+        self.trie = MetadataTrie()
+        self.shadow_stack = ShadowStack()
+        self.missing_metadata_wide = missing_metadata_wide
+        self.wrapper_checks = wrapper_checks
+        self.vm: Optional["VirtualMachine"] = None
+
+    # -- installation ----------------------------------------------------
+    def install(self, vm: "VirtualMachine") -> None:
+        self.vm = vm
+        vm.register_native("__sb_trie_load_base", self._trie_load_base)
+        vm.register_native("__sb_trie_load_bound", self._trie_load_bound)
+        vm.register_native("__sb_trie_store", self._trie_store)
+        vm.register_native("__sb_ss_enter", self._ss_enter)
+        vm.register_native("__sb_ss_exit", self._ss_exit)
+        vm.register_native("__sb_ss_set", self._ss_set)
+        vm.register_native("__sb_ss_get_base", self._ss_get_base)
+        vm.register_native("__sb_ss_get_bound", self._ss_get_bound)
+        vm.register_native("__sb_ss_set_ret", self._ss_set_ret)
+        vm.register_native("__sb_ss_get_ret_base", self._ss_get_ret_base)
+        vm.register_native("__sb_ss_get_ret_bound", self._ss_get_ret_bound)
+        vm.register_native("__sb_check", self._check)
+        for name in WRAPPED_FUNCTIONS:
+            vm.register_native(f"__sb_wrap_{name}", self._make_wrapper(name))
+
+    # -- trie ----------------------------------------------------------------
+    def _bounds_for_load(self, location: int):
+        entry = self.trie.load(location)
+        self.vm.stats.trie_loads += 1
+        if entry is None:
+            if self.missing_metadata_wide:
+                return (WIDE_BASE, WIDE_BOUND)
+            return (0, 0)  # NULL bounds: any dereference reports
+        return entry
+
+    def _trie_load_base(self, vm: "VirtualMachine", args: List[int]) -> int:
+        return self._bounds_for_load(args[0])[0]
+
+    def _trie_load_bound(self, vm: "VirtualMachine", args: List[int]) -> int:
+        return self._bounds_for_load(args[0])[1]
+
+    def _trie_store(self, vm: "VirtualMachine", args: List[int]) -> None:
+        location, base, bound = args[0], args[1], args[2]
+        self.trie.store(location, base, bound)
+        vm.stats.trie_stores += 1
+
+    # -- shadow stack ------------------------------------------------------------
+    def _ss_enter(self, vm: "VirtualMachine", args: List[int]) -> None:
+        self.shadow_stack.enter(args[0])
+        vm.stats.shadow_stack_ops += 1
+
+    def _ss_exit(self, vm: "VirtualMachine", args: List[int]) -> None:
+        self.shadow_stack.exit()
+        vm.stats.shadow_stack_ops += 1
+
+    def _ss_set(self, vm: "VirtualMachine", args: List[int]) -> None:
+        self.shadow_stack.set_slot(args[0], args[1], args[2])
+        vm.stats.shadow_stack_ops += 1
+
+    def _ss_get_base(self, vm: "VirtualMachine", args: List[int]) -> int:
+        vm.stats.shadow_stack_ops += 1
+        return self.shadow_stack.get_slot(args[0])[0]
+
+    def _ss_get_bound(self, vm: "VirtualMachine", args: List[int]) -> int:
+        vm.stats.shadow_stack_ops += 1
+        return self.shadow_stack.get_slot(args[0])[1]
+
+    def _ss_set_ret(self, vm: "VirtualMachine", args: List[int]) -> None:
+        self.shadow_stack.set_ret(args[0], args[1])
+        vm.stats.shadow_stack_ops += 1
+
+    def _ss_get_ret_base(self, vm: "VirtualMachine", args: List[int]) -> int:
+        vm.stats.shadow_stack_ops += 1
+        return self.shadow_stack.get_ret()[0]
+
+    def _ss_get_ret_bound(self, vm: "VirtualMachine", args: List[int]) -> int:
+        vm.stats.shadow_stack_ops += 1
+        return self.shadow_stack.get_ret()[1]
+
+    # -- the dereference check (paper Figure 2) ------------------------------------
+    def _check(self, vm: "VirtualMachine", args: List) -> None:
+        ptr, width, base, bound = args[0], args[1], args[2], args[3]
+        site = str(args[4]) if len(args) > 4 else None
+        wide = bound == WIDE_BOUND
+        vm.stats.record_check(str(site), wide=wide)
+        if ptr < base or ptr + width > bound:
+            raise MemSafetyViolation(
+                "deref",
+                "SoftBound: access outside [base, bound)"
+                + ("" if base or bound else " (NULL bounds: missing or "
+                   "stale metadata, cf. paper Sections 4.3-4.5)"),
+                pointer=ptr, base=base, bound=bound, site=site,
+            )
+
+    def _wrapper_check(self, ptr: int, nbytes: int, slot: int, what: str) -> None:
+        if not self.wrapper_checks:
+            return
+        # Two shadow-stack loads plus the range comparison (Figure 6's
+        # check_abort); only charged when the checks are enabled.
+        self.vm.stats.cycles += 8
+        base, bound = self.shadow_stack.get_slot(slot)
+        if bound == WIDE_BOUND:
+            return
+        if ptr < base or ptr + nbytes > bound:
+            raise MemSafetyViolation(
+                "wrapper", f"SoftBound wrapper: {what} of {nbytes} bytes "
+                f"exceeds the argument's bounds",
+                pointer=ptr, base=base, bound=bound,
+            )
+
+    # -- libc wrappers (paper Figure 6) ------------------------------------------------
+    def _make_wrapper(self, name: str) -> Callable:
+        impl = libc.LIBC_IMPLS[name]
+
+        def wrapper(vm: "VirtualMachine", args: List) -> object:
+            ss = self.shadow_stack
+            if name == "malloc":
+                result = impl(vm, args)
+                ss.set_ret(result, result + args[0])
+                return result
+            if name == "calloc":
+                result = impl(vm, args)
+                ss.set_ret(result, result + args[0] * args[1])
+                return result
+            if name == "realloc":
+                result = impl(vm, args)
+                ss.set_ret(result, result + args[1])
+                return result
+            if name == "free":
+                return impl(vm, args)
+            if name in ("memcpy", "memmove"):
+                dest, src, n = args[0], args[1], args[2]
+                self._wrapper_check(dest, n, 0, name)
+                self._wrapper_check(src, n, 1, name)
+                result = impl(vm, args)
+                if n > 0:
+                    copied = self.trie.copy_range(dest, src, n)
+                    # copy_metadata walks the trie per 8-byte slot.
+                    vm.stats.cycles += 4 * copied
+                    vm.stats.trie_stores += copied
+                base, bound = ss.get_slot(0)
+                ss.set_ret(base, bound)
+                return result
+            if name == "memset":
+                self._wrapper_check(args[0], args[2], 0, name)
+                result = impl(vm, args)
+                base, bound = ss.get_slot(0)
+                ss.set_ret(base, bound)
+                return result
+            if name == "strcpy":
+                result = impl(vm, args)
+                base, bound = ss.get_slot(0)
+                ss.set_ret(base, bound)
+                return result
+            # strlen / strcmp: value results, no metadata involved.
+            return impl(vm, args)
+
+        return wrapper

@@ -1,0 +1,29 @@
+"""Deterministic IR virtual machine: memory model, interpreter, costs."""
+
+from .interpreter import VirtualMachine
+from .memory import (
+    Allocation,
+    GLOBALS_BASE,
+    HEAP_BASE,
+    LOWFAT_BASE,
+    LOWFAT_END,
+    Memory,
+    STACK_TOP,
+    StackAllocator,
+    StandardAllocator,
+)
+from .stats import RuntimeStats
+
+__all__ = [
+    "Allocation",
+    "GLOBALS_BASE",
+    "HEAP_BASE",
+    "LOWFAT_BASE",
+    "LOWFAT_END",
+    "Memory",
+    "RuntimeStats",
+    "STACK_TOP",
+    "StackAllocator",
+    "StandardAllocator",
+    "VirtualMachine",
+]

@@ -1,0 +1,548 @@
+"""The IR interpreter (the reproduction's "hardware").
+
+Executes a linked :class:`~repro.ir.module.Module` over the simulated
+address space of :mod:`repro.vm.memory`, charging deterministic cycle
+costs per executed instruction (:mod:`repro.vm.costs`).
+
+Pointers are integers.  Loads and stores that leave mapped memory raise
+:class:`~repro.errors.MemoryFault`; accesses that land inside *some*
+live allocation succeed silently, even when the programmer meant a
+different object -- the silent-corruption behaviour the sanitizers in
+the paper exist to catch.
+
+Instrumentation runtimes (SoftBound / Low-Fat) plug in by registering
+*native functions* (``register_native``) and, for Low-Fat, by replacing
+the global placer so globals land in low-fat regions.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import MemoryFault, ProgramAbort, VMError
+from ..ir.instructions import (
+    Alloca,
+    BinOp,
+    Br,
+    Call,
+    Cast,
+    CondBr,
+    FCmp,
+    GEP,
+    ICmp,
+    Instruction,
+    Load,
+    Phi,
+    Ret,
+    Select,
+    Store,
+    Unreachable,
+)
+from ..ir.module import BasicBlock, Function, GlobalVariable, Module
+from ..ir.types import (
+    ArrayType,
+    FloatType,
+    IntType,
+    PointerType,
+    StructType,
+    Type,
+    size_of,
+    struct_field_offset,
+)
+from ..ir.values import (
+    Argument,
+    Constant,
+    ConstantArray,
+    ConstantFloat,
+    ConstantInt,
+    ConstantNull,
+    ConstantString,
+    ConstantStruct,
+    ConstantZero,
+    UndefValue,
+    Value,
+)
+from . import costs
+from .memory import (
+    Allocation,
+    GlobalsAllocator,
+    Memory,
+    StackAllocator,
+    StandardAllocator,
+)
+from .native import install_libc
+from .stats import RuntimeStats
+
+FUNCTION_SEGMENT_BASE = 0x2000
+U64_MASK = (1 << 64) - 1
+_LOAD_COST = costs.INSTRUCTION_COSTS["load"]
+_STORE_COST = costs.INSTRUCTION_COSTS["store"]
+
+
+class _ExitRequest(Exception):
+    def __init__(self, code: int):
+        self.code = code
+
+
+def _to_signed(value: int, bits: int) -> int:
+    if value >= 1 << (bits - 1):
+        return value - (1 << bits)
+    return value
+
+
+class VirtualMachine:
+    def __init__(
+        self,
+        module: Module,
+        stats: Optional[RuntimeStats] = None,
+        max_instructions: Optional[int] = 500_000_000,
+        install_default_libc: bool = True,
+    ):
+        self.module = module
+        self.stats = stats or RuntimeStats()
+        self.max_instructions = max_instructions
+        self.memory = Memory()
+        self.heap = StandardAllocator(self.memory)
+        self.stack = StackAllocator(self.memory)
+        self.globals_allocator = GlobalsAllocator(self.memory)
+        # Hook: Low-Fat replaces this so globals land in low-fat regions.
+        # ``external`` marks globals of uninstrumented libraries
+        # (declarations with no definition) -- those stay outside the
+        # low-fat regions, cf. paper Section 4.3.
+        self.global_placer: Callable[..., Allocation] = (
+            lambda size, name, external=False: self.globals_allocator.allocate(
+                size, name
+            )
+        )
+        self.natives: Dict[str, Callable] = {}
+        self.output: List[str] = []
+        self.global_addresses: Dict[GlobalVariable, int] = {}
+        self._function_addresses: Dict[Function, int] = {}
+        self._functions_by_address: Dict[int, Function] = {}
+        self._frame_cleanups: List[List[Callable[[], None]]] = []
+        self._exit_code: Optional[int] = None
+        self._globals_loaded = False
+        if install_default_libc:
+            install_libc(self)
+
+    # -- setup -----------------------------------------------------------
+    def register_native(self, name: str, impl: Callable) -> None:
+        self.natives[name] = impl
+
+    def function_address(self, fn: Function) -> int:
+        addr = self._function_addresses.get(fn)
+        if addr is None:
+            addr = FUNCTION_SEGMENT_BASE + 16 * len(self._function_addresses)
+            self._function_addresses[fn] = addr
+            self._functions_by_address[addr] = fn
+        return addr
+
+    def load_globals(self) -> None:
+        """Allocate and initialize all global variables."""
+        if self._globals_loaded:
+            return
+        self._globals_loaded = True
+        for gv in self.module.globals.values():
+            size = max(size_of(gv.value_type), 16 if gv.is_declaration else 1)
+            alloc = self.global_placer(size, gv.name, external=gv.is_declaration)
+            self.global_addresses[gv] = alloc.base
+            if gv.initializer is not None:
+                data = self._serialize_constant(gv.initializer, gv.value_type)
+                alloc.data[0 : len(data)] = data
+
+    def _serialize_constant(self, const: Constant, ty: Type) -> bytes:
+        if isinstance(const, (ConstantZero, UndefValue)):
+            return bytes(size_of(ty))
+        if isinstance(const, ConstantInt):
+            assert isinstance(ty, IntType)
+            return const.value.to_bytes(size_of(ty), "little")
+        if isinstance(const, ConstantFloat):
+            assert isinstance(ty, FloatType)
+            fmt = "<f" if ty.bits == 32 else "<d"
+            return struct.pack(fmt, const.value)
+        if isinstance(const, ConstantNull):
+            return bytes(8)
+        if isinstance(const, ConstantString):
+            return bytes(const.data)
+        if isinstance(const, ConstantArray):
+            assert isinstance(ty, ArrayType)
+            elem_size = size_of(ty.element)
+            out = bytearray()
+            for elem in const.elements:
+                piece = self._serialize_constant(elem, ty.element)
+                out.extend(piece.ljust(elem_size, b"\x00"))
+            return bytes(out)
+        if isinstance(const, ConstantStruct):
+            assert isinstance(ty, StructType)
+            out = bytearray(size_of(ty))
+            for i, field in enumerate(const.fields):
+                offset = struct_field_offset(ty, i)
+                piece = self._serialize_constant(field, ty.fields[i])
+                out[offset : offset + len(piece)] = piece
+            return bytes(out)
+        raise VMError(f"cannot serialize constant {const!r}")
+
+    # -- running ------------------------------------------------------------
+    def run(self, entry: str = "main", args: Sequence[int] = ()) -> int:
+        """Execute ``entry`` and return its exit code."""
+        self.load_globals()
+        fn = self.module.get_function(entry)
+        if fn is None:
+            raise VMError(f"no entry function @{entry}")
+        try:
+            result = self.call_function(fn, list(args))
+        except _ExitRequest as req:
+            return req.code
+        if self._exit_code is not None:
+            return self._exit_code
+        return int(result) & 0xFFFFFFFF if result is not None else 0
+
+    def request_exit(self, code: int) -> None:
+        raise _ExitRequest(code & 0xFFFFFFFF)
+
+    def register_frame_cleanup(self, action: Callable[[], None]) -> None:
+        """Register an action to run when the current frame is popped.
+
+        Used by the Low-Fat runtime to release ``__lf_alloca`` memory on
+        function return.
+        """
+        if not self._frame_cleanups:
+            raise VMError("no active frame for cleanup registration")
+        self._frame_cleanups[-1].append(action)
+
+    # -- call dispatch ---------------------------------------------------------
+    def call_function(self, fn: Function, args: List) -> Optional[object]:
+        if fn.native:
+            impl = self.natives.get(fn.name)
+            if impl is None:
+                raise VMError(f"native function @{fn.name} has no implementation")
+            self.stats.charge(f"native:{fn.name}", costs.call_cost(fn.name))
+            self.stats.calls += 1
+            return impl(self, args)
+        if fn.is_declaration:
+            # Unresolved declaration: model a call into an unavailable
+            # external library.
+            impl = self.natives.get(fn.name)
+            if impl is not None:
+                self.stats.charge(f"native:{fn.name}", costs.call_cost(fn.name))
+                return impl(self, args)
+            raise VMError(f"call to undefined function @{fn.name}")
+        self.stats.calls += 1
+        return self._run_function(fn, args)
+
+    # -- the main loop -----------------------------------------------------------
+    def _run_function(self, fn: Function, args: List) -> Optional[object]:
+        frame: Dict[Value, object] = {}
+        for formal, actual in zip(fn.args, args):
+            frame[formal] = actual
+        self.stack.push_frame()
+        self._frame_cleanups.append([])
+        try:
+            return self._interpret(fn, frame)
+        finally:
+            for action in reversed(self._frame_cleanups.pop()):
+                action()
+            self.stack.pop_frame()
+
+    def _interpret(self, fn: Function, frame: Dict[Value, object]):
+        stats = self.stats
+        block = fn.entry
+        prev: Optional[BasicBlock] = None
+        while True:
+            instructions = block.instructions
+            index = 0
+            # Resolve phis as a parallel assignment.
+            if prev is not None and isinstance(instructions[0], Phi):
+                phis = block.phis()
+                values = [
+                    self._eval(phi.incoming_value_for(prev), frame) for phi in phis
+                ]
+                for phi, value in zip(phis, values):
+                    frame[phi] = value
+                    stats.charge("phi", 0)
+                index = len(phis)
+
+            next_block: Optional[BasicBlock] = None
+            while index < len(instructions):
+                inst = instructions[index]
+                index += 1
+                cls = type(inst)
+                if cls is Load:
+                    stats.charge("load", _LOAD_COST)
+                    stats.loads += 1
+                    frame[inst] = self._load(
+                        self._eval(inst.pointer, frame), inst.type  # type: ignore[attr-defined]
+                    )
+                elif cls is Store:
+                    stats.charge("store", _STORE_COST)
+                    stats.stores += 1
+                    self._store(
+                        self._eval(inst.pointer, frame),  # type: ignore[attr-defined]
+                        self._eval(inst.value, frame),  # type: ignore[attr-defined]
+                        inst.value.type,  # type: ignore[attr-defined]
+                    )
+                elif cls is BinOp:
+                    stats.charge(inst.opcode, costs.INSTRUCTION_COSTS[inst.opcode])
+                    frame[inst] = self._binop(
+                        inst.opcode,
+                        inst.type,
+                        self._eval(inst.lhs, frame),  # type: ignore[attr-defined]
+                        self._eval(inst.rhs, frame),  # type: ignore[attr-defined]
+                    )
+                elif cls is GEP:
+                    stats.charge("gep", 1)
+                    frame[inst] = self._gep(inst, frame)
+                elif cls is ICmp:
+                    stats.charge("icmp", 1)
+                    frame[inst] = self._icmp(inst, frame)
+                elif cls is FCmp:
+                    stats.charge("fcmp", 2)
+                    frame[inst] = self._fcmp(inst, frame)
+                elif cls is Cast:
+                    stats.charge(inst.opcode, costs.INSTRUCTION_COSTS[inst.opcode])
+                    frame[inst] = self._cast(inst, frame)
+                elif cls is Select:
+                    stats.charge("select", 1)
+                    cond = self._eval(inst.condition, frame)  # type: ignore[attr-defined]
+                    frame[inst] = self._eval(
+                        inst.true_value if cond else inst.false_value, frame  # type: ignore[attr-defined]
+                    )
+                elif cls is Call:
+                    result = self._call(inst, frame)
+                    if inst.type.is_first_class():
+                        frame[inst] = result
+                elif cls is Alloca:
+                    stats.charge("alloca", 2)
+                    frame[inst] = self._alloca(inst, frame)
+                elif cls is Br:
+                    stats.charge("br", 1)
+                    next_block = inst.target  # type: ignore[attr-defined]
+                    break
+                elif cls is CondBr:
+                    stats.charge("condbr", 2)
+                    cond = self._eval(inst.condition, frame)  # type: ignore[attr-defined]
+                    next_block = inst.true_block if cond else inst.false_block  # type: ignore[attr-defined]
+                    break
+                elif cls is Ret:
+                    stats.charge("ret", 2)
+                    value = inst.value  # type: ignore[attr-defined]
+                    return self._eval(value, frame) if value is not None else None
+                elif cls is Phi:
+                    # Entry block phis (no predecessor yet) are invalid.
+                    raise VMError(f"phi executed without predecessor: {inst}")
+                elif cls is Unreachable:
+                    raise VMError("executed 'unreachable'")
+                else:
+                    raise VMError(f"cannot interpret instruction: {inst}")
+
+            if next_block is None:
+                raise VMError(f"block {block.name} fell through without terminator")
+            if (
+                self.max_instructions is not None
+                and stats.instructions > self.max_instructions
+            ):
+                raise VMError("instruction budget exceeded (infinite loop?)")
+            prev, block = block, next_block
+
+    # -- evaluation helpers ----------------------------------------------------
+    def _eval(self, value: Value, frame: Dict[Value, object]):
+        if isinstance(value, (Instruction, Argument)):
+            try:
+                return frame[value]
+            except KeyError:
+                raise VMError(f"use of undefined value %{value.name}") from None
+        if isinstance(value, ConstantInt):
+            return value.value
+        if isinstance(value, ConstantFloat):
+            return value.value
+        if isinstance(value, (ConstantNull, ConstantZero)):
+            return 0.0 if isinstance(value.type, FloatType) else 0
+        if isinstance(value, UndefValue):
+            return 0.0 if isinstance(value.type, FloatType) else 0
+        if isinstance(value, GlobalVariable):
+            try:
+                return self.global_addresses[value]
+            except KeyError:
+                raise VMError(f"global @{value.name} not loaded") from None
+        if isinstance(value, Function):
+            return self.function_address(value)
+        raise VMError(f"cannot evaluate value {value!r}")
+
+    def _load(self, address: int, ty: Type):
+        size = size_of(ty)
+        if isinstance(ty, FloatType):
+            return self.memory.read_float(address, size)
+        return self.memory.read_int(address, size)
+
+    def _store(self, address: int, value, ty: Type) -> None:
+        size = size_of(ty)
+        if isinstance(ty, FloatType):
+            self.memory.write_float(address, value, size)
+        else:
+            self.memory.write_int(address, int(value), size)
+
+    def _binop(self, op: str, ty: Type, lhs, rhs):
+        if isinstance(ty, FloatType):
+            if op == "fadd":
+                return lhs + rhs
+            if op == "fsub":
+                return lhs - rhs
+            if op == "fmul":
+                return lhs * rhs
+            if op == "fdiv":
+                return lhs / rhs if rhs != 0.0 else float("inf")
+            if op == "frem":
+                import math
+
+                return math.fmod(lhs, rhs) if rhs != 0.0 else float("nan")
+            raise VMError(f"float binop {op}")
+        assert isinstance(ty, IntType)
+        bits, mask = ty.bits, ty.mask
+        if op == "add":
+            return (lhs + rhs) & mask
+        if op == "sub":
+            return (lhs - rhs) & mask
+        if op == "mul":
+            return (lhs * rhs) & mask
+        if op == "and":
+            return lhs & rhs
+        if op == "or":
+            return lhs | rhs
+        if op == "xor":
+            return lhs ^ rhs
+        if op == "shl":
+            return (lhs << (rhs % bits)) & mask
+        if op == "lshr":
+            return lhs >> (rhs % bits)
+        if op == "ashr":
+            return (_to_signed(lhs, bits) >> (rhs % bits)) & mask
+        if op in ("sdiv", "srem"):
+            a, b = _to_signed(lhs, bits), _to_signed(rhs, bits)
+            if b == 0:
+                raise MemoryFault(0, 0, "integer division by zero")
+            q = abs(a) // abs(b)
+            if (a < 0) != (b < 0):
+                q = -q
+            return (q if op == "sdiv" else a - q * b) & mask
+        if op in ("udiv", "urem"):
+            if rhs == 0:
+                raise MemoryFault(0, 0, "integer division by zero")
+            return (lhs // rhs if op == "udiv" else lhs % rhs) & mask
+        raise VMError(f"int binop {op}")
+
+    def _icmp(self, inst: ICmp, frame) -> int:
+        lhs = self._eval(inst.lhs, frame)
+        rhs = self._eval(inst.rhs, frame)
+        pred = inst.predicate
+        ty = inst.lhs.type
+        bits = ty.bits if isinstance(ty, IntType) else 64
+        if pred in ("slt", "sle", "sgt", "sge"):
+            lhs, rhs = _to_signed(lhs, bits), _to_signed(rhs, bits)
+        table = {
+            "eq": lhs == rhs, "ne": lhs != rhs,
+            "slt": lhs < rhs, "sle": lhs <= rhs,
+            "sgt": lhs > rhs, "sge": lhs >= rhs,
+            "ult": lhs < rhs, "ule": lhs <= rhs,
+            "ugt": lhs > rhs, "uge": lhs >= rhs,
+        }
+        return 1 if table[pred] else 0
+
+    def _fcmp(self, inst: FCmp, frame) -> int:
+        lhs = self._eval(inst.lhs, frame)
+        rhs = self._eval(inst.rhs, frame)
+        table = {
+            "oeq": lhs == rhs, "one": lhs != rhs,
+            "olt": lhs < rhs, "ole": lhs <= rhs,
+            "ogt": lhs > rhs, "oge": lhs >= rhs,
+        }
+        return 1 if table[inst.predicate] else 0
+
+    def _cast(self, inst: Cast, frame):
+        value = self._eval(inst.value, frame)
+        op = inst.opcode
+        src_ty = inst.value.type
+        dst_ty = inst.type
+        if op == "trunc":
+            assert isinstance(dst_ty, IntType)
+            return value & dst_ty.mask
+        if op == "zext":
+            return value
+        if op == "sext":
+            assert isinstance(src_ty, IntType) and isinstance(dst_ty, IntType)
+            return _to_signed(value, src_ty.bits) & dst_ty.mask
+        if op in ("ptrtoint", "inttoptr"):
+            if op == "ptrtoint" and isinstance(dst_ty, IntType):
+                return value & dst_ty.mask
+            return value & U64_MASK
+        if op == "bitcast":
+            if isinstance(src_ty, PointerType) and isinstance(dst_ty, PointerType):
+                return value
+            if isinstance(src_ty, IntType) and isinstance(dst_ty, FloatType):
+                raw = value.to_bytes(dst_ty.bits // 8, "little")
+                return struct.unpack("<f" if dst_ty.bits == 32 else "<d", raw)[0]
+            if isinstance(src_ty, FloatType) and isinstance(dst_ty, IntType):
+                raw = struct.pack("<f" if src_ty.bits == 32 else "<d", value)
+                return int.from_bytes(raw, "little")
+            return value
+        if op == "fptrunc" or op == "fpext":
+            return float(value)
+        if op in ("fptosi", "fptoui"):
+            assert isinstance(dst_ty, IntType)
+            return int(value) & dst_ty.mask
+        if op in ("sitofp", "uitofp"):
+            assert isinstance(src_ty, IntType)
+            if op == "sitofp":
+                return float(_to_signed(value, src_ty.bits))
+            return float(value)
+        raise VMError(f"cast {op}")
+
+    def _gep(self, inst: GEP, frame) -> int:
+        address = self._eval(inst.pointer, frame)
+        ty = inst.pointer.type
+        assert isinstance(ty, PointerType)
+        indices = inst.indices
+        first = self._eval(indices[0], frame)
+        first_bits = indices[0].type.bits if isinstance(indices[0].type, IntType) else 64
+        address += _to_signed(first, first_bits) * size_of(ty.pointee)
+        current: Type = ty.pointee
+        for idx_value in indices[1:]:
+            if isinstance(current, ArrayType):
+                idx = self._eval(idx_value, frame)
+                bits = idx_value.type.bits if isinstance(idx_value.type, IntType) else 64
+                address += _to_signed(idx, bits) * size_of(current.element)
+                current = current.element
+            elif isinstance(current, StructType):
+                assert isinstance(idx_value, ConstantInt)
+                address += struct_field_offset(current, idx_value.value)
+                current = current.fields[idx_value.value]
+            else:
+                raise VMError(f"gep into non-aggregate {current}")
+        return address & U64_MASK
+
+    def _alloca(self, inst: Alloca, frame) -> int:
+        size = size_of(inst.allocated_type)
+        if inst.count is not None:
+            count = self._eval(inst.count, frame)
+            size *= count
+        alloc = self.stack.alloca(size, inst.name)
+        return alloc.base
+
+    def _call(self, inst: Call, frame):
+        callee = inst.callee
+        fn: Optional[Function]
+        if isinstance(callee, Function):
+            fn = callee
+        else:
+            address = self._eval(callee, frame)
+            fn = self._functions_by_address.get(address)
+            if fn is None:
+                raise MemoryFault(address, 0, "indirect call to non-function address")
+        args = [self._eval(a, frame) for a in inst.args]
+        if fn.native:
+            site = inst.meta.get("mi_site")
+            if site is not None:
+                args = list(args) + [site]
+            return self.call_function(fn, args)
+        self.stats.charge("call", costs.INSTRUCTION_COSTS["call"])
+        return self.call_function(fn, args)

@@ -1,0 +1,87 @@
+"""Execution statistics.
+
+The harness derives every number in the paper's evaluation from these
+counters:
+
+* ``cycles`` -- the deterministic runtime measure (Figures 9-13).
+* ``checks_executed`` / ``checks_wide`` -- the dynamic dereference-check
+  classification behind Table 2 ("number of unsafe dereferences in %").
+* ``invariant_checks`` -- Low-Fat escape checks (Figure 11's
+  metadata-only configuration).
+* ``metadata_ops`` -- trie and shadow-stack traffic (Section 5.4).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class RuntimeStats:
+    cycles: int = 0
+    instructions: int = 0
+    opcode_counts: Counter = field(default_factory=Counter)
+
+    loads: int = 0
+    stores: int = 0
+    calls: int = 0
+
+    # dereference checks (Table 2, Section 4.6)
+    checks_executed: int = 0
+    checks_wide: int = 0
+
+    # Low-Fat escape-invariant checks
+    invariant_checks: int = 0
+
+    # SoftBound metadata traffic
+    trie_loads: int = 0
+    trie_stores: int = 0
+    shadow_stack_ops: int = 0
+
+    # allocator traffic
+    heap_allocs: int = 0
+    heap_frees: int = 0
+    lowfat_allocs: int = 0
+    lowfat_fallback_allocs: int = 0
+
+    per_site: Dict[str, Counter] = field(default_factory=dict)
+
+    def charge(self, opcode: str, cycles: int) -> None:
+        self.cycles += cycles
+        self.instructions += 1
+        self.opcode_counts[opcode] += 1
+
+    def record_check(self, site: str, wide: bool) -> None:
+        self.checks_executed += 1
+        if wide:
+            self.checks_wide += 1
+        counter = self.per_site.setdefault(site, Counter())
+        counter["executed"] += 1
+        if wide:
+            counter["wide"] += 1
+
+    @property
+    def unsafe_percent(self) -> float:
+        """Percentage of executed dereference checks that used wide
+        (unchecked) bounds -- the quantity in the paper's Table 2."""
+        if self.checks_executed == 0:
+            return 0.0
+        return 100.0 * self.checks_wide / self.checks_executed
+
+    def summary(self) -> str:
+        lines = [
+            f"cycles:            {self.cycles}",
+            f"instructions:      {self.instructions}",
+            f"loads/stores:      {self.loads}/{self.stores}",
+            f"deref checks:      {self.checks_executed} "
+            f"({self.checks_wide} wide, {self.unsafe_percent:.2f}%)",
+            f"invariant checks:  {self.invariant_checks}",
+            f"trie ops:          {self.trie_loads} loads, {self.trie_stores} stores",
+            f"shadow stack ops:  {self.shadow_stack_ops}",
+            f"heap allocs/frees: {self.heap_allocs}/{self.heap_frees}",
+            f"low-fat allocs:    {self.lowfat_allocs} "
+            f"({self.lowfat_fallback_allocs} fell back to standard malloc)",
+        ]
+        return "\n".join(lines)

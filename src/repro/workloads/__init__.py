@@ -1,0 +1,5 @@
+"""MiniC workload kernels named after the paper's SPEC benchmarks."""
+
+from .registry import Workload, all_names, all_workloads, get
+
+__all__ = ["Workload", "all_names", "all_workloads", "get"]

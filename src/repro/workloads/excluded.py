@@ -1,0 +1,180 @@
+"""The excluded benchmarks (paper Section 5.1.1).
+
+The paper starts from 27 C benchmarks and evaluates only the 20 that
+execute successfully with both approaches.  The excluded seven fail for
+documented reasons; this module models five of them as small kernels so
+the *reasons for exclusion* are reproducible:
+
+* ``253perlbmk`` / ``254gap`` -- pseudo base-one arrays: the program
+  creates a pointer one element *before* an array and indexes from 1.
+  Undefined behaviour; Low-Fat reports the out-of-bounds pointer at the
+  escape.  (perl additionally has real out-of-bounds accesses that
+  SoftBound reports; gap does not.)
+* ``176gcc`` -- dereferences NULL-based pointers with large offsets and
+  performs out-of-bounds pointer arithmetic; both approaches report.
+* ``175vpr`` / ``255vortex`` -- out-of-bounds pointer arithmetic
+  (brought back in bounds before the access): Low-Fat reports, SoftBound
+  does not.
+
+Each entry records which approach rejects it and why; the test suite
+asserts exactly those outcomes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Sequence
+
+
+@dataclass
+class ExcludedBenchmark:
+    name: str
+    sources: Dict[str, str]
+    reason: str
+    #: expected outcome per approach: "ok", "deref", or "invariant"
+    expected: Dict[str, str] = field(default_factory=dict)
+
+
+_PERL = ExcludedBenchmark(
+    name="253perlbmk",
+    reason="pseudo base-one arrays + known out-of-bounds accesses",
+    expected={"softbound": "deref", "lowfat": "invariant"},
+    sources={
+        "stack.c": r"""
+        // Perl-style base-one stack: the code keeps a pointer one slot
+        // before the allocation and indexes from 1.
+        long sum_base1(long *base1, int n) {
+            long s = 0;
+            for (int i = 1; i <= n; i++) s += base1[i];
+            return s;
+        }
+        """,
+        "main.c": r"""
+        long sum_base1(long *base1, int n);
+        int main() {
+            long *stack = (long *) malloc(sizeof(long) * 8);
+            for (int i = 0; i < 8; i++) stack[i] = i;
+            // pseudo base-one: pointer one element before the start
+            long s = sum_base1(stack - 1, 8);
+            // perl also has real overflows that SoftBound reports:
+            s += stack[8];
+            print_i64(s);
+            free((void*)stack);
+            return 0;
+        }
+        """,
+    },
+)
+
+_GAP = ExcludedBenchmark(
+    name="254gap",
+    reason="pseudo base-one arrays (no other violations)",
+    expected={"softbound": "ok", "lowfat": "invariant"},
+    sources={
+        "bags.c": r"""
+        long bag_sum(long *bag1, int n) {
+            long s = 0;
+            for (int i = 1; i <= n; i++) s += bag1[i];
+            return s;
+        }
+        """,
+        "main.c": r"""
+        long bag_sum(long *bag1, int n);
+        int main() {
+            long *bag = (long *) malloc(sizeof(long) * 8);
+            for (int i = 0; i < 8; i++) bag[i] = i * 3;
+            print_i64(bag_sum(bag - 1, 8));
+            free((void*)bag);
+            return 0;
+        }
+        """,
+    },
+)
+
+_GCC = ExcludedBenchmark(
+    name="176gcc",
+    reason="NULL pointers with large offsets (cf. Kroes et al.)",
+    expected={"softbound": "deref", "lowfat": "invariant"},
+    sources={
+        "obstack.c": r"""
+        long probe(char *past) { return past[-64]; }
+        """,
+        "main.c": r"""
+        long probe(char *past);
+        int main() {
+            // gcc performs out-of-bounds pointer arithmetic (Low-Fat
+            // reports the escaping pointer) ...
+            char *buf = (char *) malloc(120);   // fills the 128B class
+            for (int i = 0; i < 120; i++) buf[i] = (char)i;
+            long v = probe(buf + 160);
+            // ... and dereferences NULL-based pointers with large
+            // offsets (SoftBound reports NULL bounds; uninstrumented
+            // and Low-Fat runs trap on the unmapped page).
+            char *base = NULL;
+            char *field = base + 4096;
+            *field = (char)v;
+            return *field;
+        }
+        """,
+    },
+)
+
+_VPR = ExcludedBenchmark(
+    name="175vpr",
+    reason="out-of-bounds pointer arithmetic (LF-only rejection)",
+    expected={"softbound": "ok", "lowfat": "invariant"},
+    sources={
+        "route.c": r"""
+        // vpr walks a pointer beyond the segment and rewinds inside
+        // the callee before accessing (indices 122..125: in bounds).
+        long segment_cost(int *past_end, int len) {
+            long cost = 0;
+            for (int i = 5; i < 5 + len; i++) cost += past_end[0 - i];
+            return cost;
+        }
+        """,
+        "main.c": r"""
+        long segment_cost(int *past_end, int len);
+        int main() {
+            int *seg = (int *) malloc(sizeof(int) * 127);  // 508B: fills 512B class
+            for (int i = 0; i < 127; i++) seg[i] = i;
+            // 130 elements past the base: beyond even the padded slot
+            long c = segment_cost(seg + 130, 4);
+            print_i64(c);
+            free((void*)seg);
+            return 0;
+        }
+        """,
+    },
+)
+
+_VORTEX = ExcludedBenchmark(
+    name="255vortex",
+    reason="out-of-bounds pointer arithmetic (LF-only rejection)",
+    expected={"softbound": "ok", "lowfat": "invariant"},
+    sources={
+        "chunk.c": r"""
+        long chunk_get(char *chunk, int back) {
+            return chunk[-back];
+        }
+        """,
+        "main.c": r"""
+        long chunk_get(char *chunk, int back);
+        int main() {
+            char *mem = (char *) malloc(120);   // fills the 128B class
+            for (int i = 0; i < 120; i++) mem[i] = (char)(i & 63);
+            // pointer well past the padded slot, rewound in the callee
+            long v = chunk_get(mem + 200, 150);
+            print_i64(v);
+            free((void*)mem);
+            return 0;
+        }
+        """,
+    },
+)
+
+EXCLUDED: Sequence[ExcludedBenchmark] = (_PERL, _GAP, _GCC, _VPR, _VORTEX)
+
+
+def excluded_by_name() -> Dict[str, ExcludedBenchmark]:
+    return {bench.name: bench for bench in EXCLUDED}

@@ -1,0 +1,178 @@
+"""The functional-test corpus: ~200 generated small C programs.
+
+The paper's artifact ships "around 200 small C programs which can be
+executed to verify the functionality" (Appendix A.5): programs with
+heap, stack, or global out-of-bounds accesses that must be reported,
+and violation-free programs that must run unmodified.
+
+This module generates an equivalent corpus systematically over the
+dimensions
+
+* memory region: heap / stack / global;
+* element type: char / int / long / double;
+* access kind: read / write;
+* violation: none (boundary walk) / adjacent overflow / far overflow /
+  underflow;
+
+and *predicts* each approach's verdict from its model:
+
+* SoftBound tracks exact allocation bounds: every out-of-bounds access
+  is reported;
+* Low-Fat pads allocations to the enclosing size class (one extra byte
+  for one-past-the-end pointers), so an overflow is only reported when
+  the access leaves the padded class slot; underflows always leave the
+  object (the pointer is below the witness base).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional
+
+from ..lowfat import layout
+
+REGIONS = ("heap", "stack", "global")
+ELEMENT_TYPES = {
+    "char": ("char", 1, "(char)(%s)"),
+    "int": ("int", 4, "(int)(%s)"),
+    "long": ("long", 8, "(long)(%s)"),
+    "double": ("double", 8, "(double)(%s)"),
+}
+ACCESS_KINDS = ("read", "write")
+VIOLATIONS = ("none", "adjacent", "far", "underflow")
+
+ELEMENT_COUNT = 24  # per test array
+
+
+@dataclass
+class FunctionalCase:
+    name: str
+    source: str
+    #: expected outcome per approach: "ok" or "violation"
+    expected: Dict[str, str]
+    region: str
+    element: str
+    access: str
+    violation: str
+
+
+def _lowfat_expectation(element_size: int, index: int, width: int) -> str:
+    """Predict Low-Fat's verdict for an access at ``index`` into an
+    array of ELEMENT_COUNT elements of ``element_size`` bytes."""
+    requested = ELEMENT_COUNT * element_size
+    region = layout.size_class_for(requested)
+    class_size = layout.allocation_size(region)
+    offset = index * element_size
+    if offset < 0:
+        return "violation"  # below the witness base
+    if offset + width <= class_size:
+        return "ok"         # inside the padded class slot
+    return "violation"
+
+
+def _index_for(violation: str, element_size: int) -> Optional[int]:
+    if violation == "none":
+        return None
+    if violation == "adjacent":
+        return ELEMENT_COUNT            # one element past the end
+    if violation == "far":
+        # far enough to leave any padded class slot for our sizes
+        return ELEMENT_COUNT + (1 << 16) // element_size
+    if violation == "underflow":
+        return -2
+    raise ValueError(violation)
+
+
+def _declaration(region: str, ctype: str) -> Dict[str, str]:
+    if region == "heap":
+        return {
+            "decl": f"{ctype} *arr = ({ctype} *) "
+                    f"malloc(sizeof({ctype}) * {ELEMENT_COUNT});",
+            "cleanup": "free((void*)arr);",
+            "prefix": "",
+        }
+    if region == "stack":
+        return {
+            "decl": f"{ctype} arr[{ELEMENT_COUNT}];",
+            "cleanup": "",
+            "prefix": "",
+        }
+    return {
+        "decl": "",
+        "cleanup": "",
+        "prefix": f"{ctype} arr[{ELEMENT_COUNT}];\n",
+    }
+
+
+def _body(element: str, access: str, index: Optional[int]) -> str:
+    ctype, size, cast = ELEMENT_TYPES[element]
+    fill = "\n    ".join([
+        f"for (int i = 0; i < {ELEMENT_COUNT}; i++)",
+        f"    arr[i] = {cast % 'i % 7 + 1'};",
+    ])
+    printer = "print_f64" if element == "double" else "print_i64"
+    accumulate = (
+        "double acc = 0.0;" if element == "double" else "long acc = 0;"
+    )
+    walk = "\n    ".join([
+        accumulate,
+        f"for (int i = 0; i < {ELEMENT_COUNT}; i++) acc += arr[i];",
+        f"{printer}(acc);",
+    ])
+    if index is None:
+        return f"{fill}\n    {walk}"
+    if access == "read":
+        bad = f"acc += arr[{index}];\n    {printer}(acc);"
+    else:
+        bad = f"arr[{index}] = {cast % '1'};\n    {printer}(acc);"
+    return f"{fill}\n    {walk}\n    {bad}"
+
+
+def generate_case(region: str, element: str, access: str,
+                  violation: str) -> FunctionalCase:
+    ctype, size, _ = ELEMENT_TYPES[element]
+    parts = _declaration(region, ctype)
+    index = _index_for(violation, size)
+    body = _body(element, access, index)
+    source = (
+        f"{parts['prefix']}"
+        f"int main() {{\n"
+        f"    {parts['decl']}\n"
+        f"    {body}\n"
+        f"    {parts['cleanup']}\n"
+        f"    return 0;\n"
+        f"}}\n"
+    )
+    if violation == "none":
+        expected = {"softbound": "ok", "lowfat": "ok"}
+    else:
+        expected = {
+            "softbound": "violation",
+            "lowfat": (
+                "violation" if index is None or index < 0
+                else _lowfat_expectation(size, index, size)
+            ),
+        }
+    name = f"{region}-{element}-{access}-{violation}"
+    return FunctionalCase(
+        name=name, source=source, expected=expected,
+        region=region, element=element, access=access, violation=violation,
+    )
+
+
+def generate_corpus() -> List[FunctionalCase]:
+    """All cases; 'none' cases collapse the read/write dimension."""
+    cases: List[FunctionalCase] = []
+    for region in REGIONS:
+        for element in ELEMENT_TYPES:
+            cases.append(generate_case(region, element, "read", "none"))
+            for access in ACCESS_KINDS:
+                for violation in ("adjacent", "far", "underflow"):
+                    cases.append(
+                        generate_case(region, element, access, violation)
+                    )
+    return cases
+
+
+def corpus_by_name() -> Dict[str, FunctionalCase]:
+    return {case.name: case for case in generate_corpus()}

@@ -1,0 +1,73 @@
+"""Workload registry.
+
+The paper evaluates 20 C benchmarks from SPEC CPU2000/2006 (Section
+5.1.1).  SPEC is proprietary, so this package provides 20 MiniC kernels
+named after them, each engineered to exhibit the *characteristic* the
+paper attributes to its namesake (the property that drives its row in
+Table 2 and its bar in Figures 9-13).  See DESIGN.md for the mapping
+rationale; each workload module documents its own characteristics.
+
+Workloads self-validate: the uninstrumented run's output is the
+reference, and every instrumented configuration must reproduce it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+
+@dataclass
+class Workload:
+    name: str
+    sources: Dict[str, str]
+    description: str
+    #: characteristic tags, e.g. "size_zero_arrays" (bold in Table 2),
+    #: "huge_allocation", "external_globals", "pointer_loop",
+    #: "check_dense", "trie_heavy"
+    characteristics: Sequence[str] = field(default_factory=tuple)
+    #: units compiled with integer-obfuscated pointer copies
+    obfuscated_units: Sequence[str] = field(default_factory=tuple)
+
+    @property
+    def has_size_zero_arrays(self) -> bool:
+        return "size_zero_arrays" in self.characteristics
+
+
+_REGISTRY: Dict[str, Workload] = {}
+
+
+def register(workload: Workload) -> Workload:
+    if workload.name in _REGISTRY:
+        raise ValueError(f"duplicate workload {workload.name}")
+    _REGISTRY[workload.name] = workload
+    return workload
+
+
+def get(name: str) -> Workload:
+    _ensure_loaded()
+    return _REGISTRY[name]
+
+
+def all_workloads() -> List[Workload]:
+    _ensure_loaded()
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)]
+
+
+def all_names() -> List[str]:
+    _ensure_loaded()
+    return sorted(_REGISTRY)
+
+
+_LOADED = False
+
+
+def _ensure_loaded() -> None:
+    global _LOADED
+    if _LOADED:
+        return
+    _LOADED = True
+    from . import (  # noqa: F401  (import for registration side effect)
+        spec2000,
+        spec2006,
+    )

@@ -1,0 +1,179 @@
+"""Tests for the framework core: config, gathering, dominance filter."""
+
+import pytest
+
+from repro.core import (
+    InstrumentationConfig,
+    TargetKind,
+    dominance_filter,
+    gather_function_targets,
+)
+from repro.frontend import compile_source
+from repro.opt import Mem2Reg, SimplifyCFG
+
+
+class TestConfig:
+    def test_defaults(self):
+        cfg = InstrumentationConfig.softbound()
+        assert cfg.approach == "softbound"
+        assert cfg.insert_deref_checks
+        assert cfg.sb_size_zero_wide_upper
+        assert cfg.sb_inttoptr_wide_bounds
+
+    def test_geninvariants_mode(self):
+        cfg = InstrumentationConfig.lowfat(mode="geninvariants")
+        assert not cfg.insert_deref_checks
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            InstrumentationConfig(approach="magic")
+        with pytest.raises(ValueError):
+            InstrumentationConfig(mode="sometimes")
+
+    def test_with_(self):
+        cfg = InstrumentationConfig.softbound()
+        tuned = cfg.with_(opt_dominance=True)
+        assert tuned.opt_dominance and not cfg.opt_dominance
+
+    def test_from_flags_artifact_syntax(self):
+        """The paper's artifact appendix flag set parses correctly."""
+        cfg = InstrumentationConfig.from_flags([
+            "-mi-config=softbound",
+            "-mi-sb-size-zero-wide-upper",
+            "-mi-sb-inttoptr-wide-bounds",
+            "-mi-policy-ignore-inline-asm",
+            "-mi-opt-dominance",
+            "-mi-mode=geninvariants",
+        ])
+        assert cfg.approach == "softbound"
+        assert cfg.opt_dominance
+        assert cfg.mode == "geninvariants"
+        cfg2 = InstrumentationConfig.from_flags([
+            "-mi-config=lowfat",
+            "-mi-lf-transform-common-to-weak-linkage",
+        ])
+        assert cfg2.approach == "lowfat"
+        with pytest.raises(ValueError):
+            InstrumentationConfig.from_flags(["-mi-frobnicate"])
+
+
+def _prepared(src):
+    mod = compile_source(src)
+    SimplifyCFG().run(mod)
+    Mem2Reg().run(mod)
+    return mod
+
+
+class TestGathering:
+    def test_loads_and_stores_are_check_targets(self):
+        mod = _prepared(r"""
+        int g;
+        int main() { g = 1; return g; }""")
+        targets = gather_function_targets(mod.get_function("main"))
+        checks = [t for t in targets if t.kind == TargetKind.CHECK_DEREF]
+        assert len(checks) == 2
+        widths = sorted(t.width for t in checks)
+        assert widths == [4, 4]
+
+    def test_pointer_store_is_invariant_target(self):
+        mod = _prepared(r"""
+        int *slot[1];
+        int main() { int x; slot[0] = &x; return 0; }""")
+        targets = gather_function_targets(mod.get_function("main"))
+        kinds = [t.kind for t in targets]
+        assert TargetKind.INVARIANT_STORE in kinds
+
+    def test_calls_with_pointer_args(self):
+        mod = _prepared(r"""
+        int take(int *p) { return *p; }
+        int main() { int x = 1; return take(&x); }""")
+        targets = gather_function_targets(mod.get_function("main"))
+        assert any(t.kind == TargetKind.INVARIANT_CALL for t in targets)
+
+    def test_pointer_return(self):
+        mod = _prepared(r"""
+        int g;
+        int *get() { return &g; }
+        int main() { return *get(); }""")
+        targets = gather_function_targets(mod.get_function("get"))
+        assert any(t.kind == TargetKind.INVARIANT_RET for t in targets)
+
+    def test_ptrtoint_is_cast_target(self):
+        mod = _prepared(r"""
+        int main() { int x; long a = (long)&x; return (int)a; }""")
+        targets = gather_function_targets(mod.get_function("main"))
+        assert any(t.kind == TargetKind.INVARIANT_CAST for t in targets)
+
+    def test_value_only_calls_not_targets(self):
+        mod = _prepared(r"""
+        int f(int a) { return a; }
+        int main() { return f(1); }""")
+        targets = gather_function_targets(mod.get_function("main"))
+        assert not any(t.kind == TargetKind.INVARIANT_CALL for t in targets)
+
+    def test_mi_marked_code_skipped(self):
+        mod = _prepared("int g; int main() { return g; }")
+        main = mod.get_function("main")
+        for inst in main.instructions():
+            inst.meta["mi"] = True
+        assert gather_function_targets(main) == []
+
+
+class TestDominanceFilter:
+    def test_dominated_same_pointer_removed(self):
+        mod = _prepared(r"""
+        int g;
+        int main() { g = 1; g = g + 1; return 0; }""")
+        fn = mod.get_function("main")
+        targets = gather_function_targets(fn)
+        checks_before = sum(1 for t in targets if t.is_check())
+        filtered, removed = dominance_filter(fn, targets)
+        assert removed >= 1
+        checks_after = sum(1 for t in filtered if t.is_check())
+        assert checks_after == checks_before - removed
+
+    def test_narrower_dominating_check_insufficient(self):
+        # a 4-byte check does not cover a later 8-byte access
+        mod = _prepared(r"""
+        long g;
+        int main() {
+            int lo = *(int *)&g;
+            long full = g;
+            return lo + (int)full;
+        }""")
+        fn = mod.get_function("main")
+        targets = gather_function_targets(fn)
+        filtered, removed = dominance_filter(fn, targets)
+        # different pointer SSA values anyway; nothing removable
+        assert removed == 0
+
+    def test_branches_not_dominating(self):
+        mod = _prepared(r"""
+        int g;
+        int main() {
+            int c = g;
+            if (c > 0) g = 1; else g = 2;
+            return 0;
+        }""")
+        fn = mod.get_function("main")
+        targets = gather_function_targets(fn)
+        filtered, removed = dominance_filter(fn, targets)
+        # the first load dominates both stores: both stores' checks are
+        # dominated by the load's (same pointer, same width)
+        assert removed == 2
+
+    def test_invariant_targets_unaffected(self):
+        mod = _prepared(r"""
+        int *slot[2];
+        int main() {
+            int x;
+            slot[0] = &x;
+            slot[0] = &x;
+            return 0;
+        }""")
+        fn = mod.get_function("main")
+        targets = gather_function_targets(fn)
+        invariants_before = sum(1 for t in targets if t.is_invariant())
+        filtered, _ = dominance_filter(fn, targets)
+        invariants_after = sum(1 for t in filtered if t.is_invariant())
+        assert invariants_before == invariants_after

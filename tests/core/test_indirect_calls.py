@@ -1,0 +1,108 @@
+"""Indirect calls (function pointers) through the instrumentation.
+
+Table 1's call rows apply to indirect calls too: the callee is unknown
+statically, but pointer arguments still escape (shadow-stack pushes /
+Low-Fat escape checks), and the callee -- whichever it is -- reads its
+argument bounds the usual way.
+"""
+
+import pytest
+
+from repro.core import InstrumentationConfig, instrument_module
+from repro.errors import MemSafetyViolation
+from repro.ir import (
+    Call,
+    FunctionType,
+    I32,
+    I64,
+    IRBuilder,
+    Module,
+    ptr,
+    verify_module,
+)
+from repro.lowfat import LowFatRuntime
+from repro.softbound import SoftBoundRuntime
+from repro.vm import VirtualMachine
+
+
+def _build_indirect_module(oob: bool):
+    """main() picks poke() through a function pointer and calls it with
+    a heap array; poke writes in (or out of) bounds."""
+    mod = Module("t")
+    poke_ty = FunctionType(I32, [ptr(I32)])
+
+    poke = mod.add_function("poke", poke_ty, ["p"])
+    b = IRBuilder(poke.add_block("entry"))
+    index = 6 if oob else 3
+    slot = b.gep(poke.args[0], [b.const_i64(index)])
+    b.store(b.const_i32(1), slot)
+    b.ret(b.const_i32(0))
+
+    from repro.ir import I8
+
+    malloc = mod.add_function("malloc", FunctionType(ptr(I8), [I64]))
+    malloc.native = True
+
+    main = mod.add_function("main", FunctionType(I32, []))
+    b = IRBuilder(main.add_block("entry"))
+    raw = b.call(malloc, [b.const_i64(16)])        # 4 ints
+    arr = b.bitcast(raw, ptr(I32))
+    fn_ptr_slot = b.alloca(ptr(poke_ty), name="fp")
+    b.store(poke, fn_ptr_slot)
+    callee = b.load(fn_ptr_slot)                   # indirect callee
+    result = b.call(callee, [arr])
+    b.ret(result)
+    verify_module(mod)
+    return mod
+
+
+@pytest.mark.parametrize("approach", ["softbound", "lowfat"])
+class TestIndirectCalls:
+    def _run(self, approach, oob):
+        mod = _build_indirect_module(oob)
+        config = (InstrumentationConfig.softbound() if approach == "softbound"
+                  else InstrumentationConfig.lowfat())
+        instrument_module(mod, config, verify=True)
+        vm = VirtualMachine(mod, max_instructions=100_000)
+        if approach == "softbound":
+            SoftBoundRuntime().install(vm)
+        else:
+            LowFatRuntime().install(vm)
+        return vm
+
+    def test_in_bounds_indirect_call_runs(self, approach):
+        vm = self._run(approach, oob=False)
+        assert vm.run() == 0
+        assert vm.stats.checks_executed > 0
+
+    def test_oob_through_indirect_call_reported(self, approach):
+        # 16-byte allocation; poke writes int index 6 = bytes 24..27.
+        # SoftBound: exact bounds -> report.  Low-Fat: 16+1 -> 32-byte
+        # class, bytes 24..27 are inside padding -> NOT reported (the
+        # padding blind spot); push further out for Low-Fat.
+        vm = self._run(approach, oob=True)
+        if approach == "softbound":
+            with pytest.raises(MemSafetyViolation):
+                vm.run()
+        else:
+            assert vm.run() == 0   # swallowed by padding
+
+    def test_far_oob_reported_by_lowfat_too(self, approach):
+        mod = _build_indirect_module(oob=False)
+        # rewrite the poke index to escape any class slot
+        poke = mod.get_function("poke")
+        from repro.ir import GEP, ConstantInt, I64 as I64t
+
+        for inst in list(poke.instructions()):
+            if isinstance(inst, GEP):
+                inst.set_operand(1, ConstantInt(I64t, 1000))
+        config = (InstrumentationConfig.softbound() if approach == "softbound"
+                  else InstrumentationConfig.lowfat())
+        instrument_module(mod, config, verify=True)
+        vm = VirtualMachine(mod, max_instructions=100_000)
+        if approach == "softbound":
+            SoftBoundRuntime().install(vm)
+        else:
+            LowFatRuntime().install(vm)
+        with pytest.raises(MemSafetyViolation):
+            vm.run()

@@ -1,0 +1,266 @@
+"""Tests for the SoftBound and Low-Fat mechanisms (target lowering)."""
+
+import pytest
+
+from repro.core import (
+    InstrumentationConfig,
+    MemInstrumentPass,
+    instrument_module,
+)
+from repro.frontend import compile_source
+from repro.ir import Alloca, Call, Cast, Load, Store, verify_module
+from repro.opt import Mem2Reg, SimplifyCFG
+from repro.vm import VirtualMachine
+from repro.softbound import SoftBoundRuntime
+from repro.lowfat import LowFatRuntime
+
+
+def prepared(src):
+    mod = compile_source(src)
+    SimplifyCFG().run(mod)
+    Mem2Reg().run(mod)
+    return mod
+
+
+def calls_to(mod, fn_name, prefix):
+    fn = mod.get_function(fn_name)
+    result = []
+    for inst in fn.instructions():
+        if isinstance(inst, Call):
+            callee = inst.callee_function
+            if callee is not None and callee.name.startswith(prefix):
+                result.append(callee.name)
+    return result
+
+
+def run_with_runtime(mod, approach, max_instructions=1_000_000):
+    vm = VirtualMachine(mod, max_instructions=max_instructions)
+    if approach == "softbound":
+        SoftBoundRuntime().install(vm)
+    else:
+        LowFatRuntime().install(vm)
+    code = vm.run()
+    return code, vm.output, vm.stats
+
+
+class TestSoftBoundLowering:
+    SRC = r"""
+    int g[4];
+    int *identity(int *p) { return p; }
+    int main() {
+        int *h = (int *) malloc(sizeof(int) * 4);
+        h[0] = 1;
+        g[0] = 2;
+        int *alias = identity(h);
+        print_i64(alias[0] + g[0]);
+        free((void*)h);
+        return 0;
+    }"""
+
+    def test_check_calls_inserted(self):
+        mod = prepared(self.SRC)
+        instrument_module(mod, InstrumentationConfig.softbound(), verify=True)
+        assert calls_to(mod, "main", "__sb_check")
+
+    def test_shadow_stack_protocol_at_calls(self):
+        mod = prepared(self.SRC)
+        instrument_module(mod, InstrumentationConfig.softbound(), verify=True)
+        names = calls_to(mod, "main", "__sb_ss")
+        assert "__sb_ss_enter" in names
+        assert "__sb_ss_set" in names
+        assert "__sb_ss_exit" in names
+        assert "__sb_ss_get_ret_base" in names
+        # callee reads its argument bounds, publishes return bounds
+        callee_names = calls_to(mod, "identity", "__sb_ss")
+        assert "__sb_ss_get_base" in callee_names
+        assert "__sb_ss_set_ret" in callee_names
+
+    def test_wrappers_installed(self):
+        mod = prepared(self.SRC)
+        instrument_module(mod, InstrumentationConfig.softbound(), verify=True)
+        assert calls_to(mod, "main", "__sb_wrap_malloc")
+        assert calls_to(mod, "main", "__sb_wrap_free")
+        assert not calls_to(mod, "main", "malloc")
+
+    def test_pointer_store_updates_trie(self):
+        src = r"""
+        int *slot[1];
+        int main() { int x; slot[0] = &x; return 0; }"""
+        mod = prepared(src)
+        instrument_module(mod, InstrumentationConfig.softbound(), verify=True)
+        assert calls_to(mod, "main", "__sb_trie_store")
+
+    def test_pointer_load_reads_trie(self):
+        src = r"""
+        int *slot[1];
+        int main() { int x = 0; slot[0] = &x; return *slot[0]; }"""
+        mod = prepared(src)
+        instrument_module(mod, InstrumentationConfig.softbound(), verify=True)
+        assert calls_to(mod, "main", "__sb_trie_load_base")
+        assert calls_to(mod, "main", "__sb_trie_load_bound")
+
+    def test_geninvariants_skips_checks_keeps_metadata(self):
+        src = r"""
+        int *slot[1];
+        int main() { int x = 0; slot[0] = &x; return *slot[0]; }"""
+        mod = prepared(src)
+        cfg = InstrumentationConfig.softbound(mode="geninvariants")
+        instrument_module(mod, cfg, verify=True)
+        assert not calls_to(mod, "main", "__sb_check")
+        assert calls_to(mod, "main", "__sb_trie_store")
+
+    def test_instrumented_program_runs_correctly(self):
+        mod = prepared(self.SRC)
+        instrument_module(mod, InstrumentationConfig.softbound(), verify=True)
+        verify_module(mod)
+        code, output, stats = run_with_runtime(mod, "softbound")
+        assert code == 0
+        assert output == ["3"]
+        assert stats.checks_executed > 0
+
+    def test_statistics_collected(self):
+        mod = prepared(self.SRC)
+        pass_ = instrument_module(mod, InstrumentationConfig.softbound())
+        assert pass_.statistics.gathered_checks > 0
+        assert pass_.statistics.gathered_invariants > 0
+        assert "main" in pass_.per_function
+
+
+class TestLowFatLowering:
+    SRC = r"""
+    int g[4];
+    int *identity(int *p) { return p; }
+    int main() {
+        int *h = (int *) malloc(sizeof(int) * 4);
+        int local[2];
+        local[0] = 5;
+        h[0] = 1;
+        g[0] = 2;
+        int *alias = identity(h);
+        print_i64(alias[0] + g[0] + local[0]);
+        free((void*)h);
+        return 0;
+    }"""
+
+    def test_allocator_calls_replaced(self):
+        mod = prepared(self.SRC)
+        instrument_module(mod, InstrumentationConfig.lowfat(), verify=True)
+        assert calls_to(mod, "main", "__lf_malloc")
+        assert calls_to(mod, "main", "__lf_free")
+        assert not calls_to(mod, "main", "malloc")
+
+    def test_allocas_replaced(self):
+        mod = prepared(self.SRC)
+        instrument_module(mod, InstrumentationConfig.lowfat(), verify=True)
+        main = mod.get_function("main")
+        assert not any(isinstance(i, Alloca) for i in main.instructions())
+        assert calls_to(mod, "main", "__lf_alloca")
+
+    def test_checks_and_invariants_inserted(self):
+        mod = prepared(self.SRC)
+        instrument_module(mod, InstrumentationConfig.lowfat(), verify=True)
+        assert calls_to(mod, "main", "__lf_check")
+        assert calls_to(mod, "main", "__lf_invariant_check")  # call args, ret
+        assert calls_to(mod, "identity", "__lf_invariant_check")  # ret
+
+    def test_no_shadow_stack_or_trie(self):
+        mod = prepared(self.SRC)
+        instrument_module(mod, InstrumentationConfig.lowfat(), verify=True)
+        assert not calls_to(mod, "main", "__sb_")
+
+    def test_common_linkage_transformed(self):
+        src = "int g; int main() { return g; }"
+        mod = prepared(src)
+        assert mod.get_global("g").linkage == "common"
+        instrument_module(mod, InstrumentationConfig.lowfat(), verify=True)
+        assert mod.get_global("g").linkage == "weak"
+
+    def test_instrumented_program_runs_correctly(self):
+        mod = prepared(self.SRC)
+        instrument_module(mod, InstrumentationConfig.lowfat(), verify=True)
+        code, output, stats = run_with_runtime(mod, "lowfat")
+        assert code == 0
+        assert output == ["8"]
+        assert stats.checks_executed > 0
+        assert stats.lowfat_allocs > 0
+
+    def test_geninvariants_keeps_escape_checks(self):
+        mod = prepared(self.SRC)
+        cfg = InstrumentationConfig.lowfat(mode="geninvariants")
+        instrument_module(mod, cfg, verify=True)
+        assert not calls_to(mod, "main", "__lf_check")
+        assert calls_to(mod, "main", "__lf_invariant_check")
+
+
+class TestWitnessPropagation:
+    def test_phi_witnesses(self):
+        """Pointers merged by phis get companion witness phis."""
+        src = r"""
+        int main() {
+            int *a = (int *) malloc(sizeof(int) * 4);
+            int *b = (int *) malloc(sizeof(int) * 4);
+            a[0] = 1; b[0] = 2;
+            int *p = a;
+            for (int i = 0; i < 4; i++) {
+                p[0] = i;
+                if (i == 2) p = b;      // phi merges a and b
+            }
+            print_i64(a[0] + b[0]);
+            free((void*)a); free((void*)b);
+            return 0;
+        }"""
+        for approach, cfg in (
+            ("softbound", InstrumentationConfig.softbound()),
+            ("lowfat", InstrumentationConfig.lowfat()),
+        ):
+            mod = prepared(src)
+            instrument_module(mod, cfg, verify=True)
+            verify_module(mod)
+            code, output, stats = run_with_runtime(mod, approach)
+            assert code == 0
+            assert output == ["5"]  # a[0]=2 (last store before switch) + b[0]=3
+            assert stats.checks_executed > 0
+
+    def test_select_witnesses(self):
+        src = r"""
+        int main() {
+            int *a = (int *) malloc(sizeof(int) * 4);
+            int *b = (int *) malloc(sizeof(int) * 4);
+            a[0] = 10; b[0] = 20;
+            int c = 1;
+            int *p = c ? a : b;
+            print_i64(p[0]);
+            free((void*)a); free((void*)b);
+            return 0;
+        }"""
+        for approach, cfg in (
+            ("softbound", InstrumentationConfig.softbound()),
+            ("lowfat", InstrumentationConfig.lowfat()),
+        ):
+            mod = prepared(src)
+            instrument_module(mod, cfg, verify=True)
+            code, output, _ = run_with_runtime(mod, approach)
+            assert code == 0 and output == ["10"]
+
+    def test_gep_chain_inherits_witness(self):
+        """Deep gep/bitcast chains share one witness: the checks on a
+        sliced pointer still use the original allocation's bounds."""
+        src = r"""
+        int main() {
+            char *base = (char *) malloc(64);
+            int *ints = (int *) (base + 16);
+            ints[3] = 7;
+            print_i64(ints[3]);
+            int *oob = (int *) (base + 62);
+            oob[0] = 1;              // bytes 62..65: out of bounds
+            free((void*)base);
+            return 0;
+        }"""
+        mod = prepared(src)
+        instrument_module(mod, InstrumentationConfig.softbound(), verify=True)
+        from repro.errors import MemSafetyViolation
+
+        vm = VirtualMachine(mod, max_instructions=1_000_000)
+        SoftBoundRuntime().install(vm)
+        with pytest.raises(MemSafetyViolation):
+            vm.run()

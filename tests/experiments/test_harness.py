@@ -1,0 +1,72 @@
+"""Tests for the experiment harness (fast paths only: the full tables
+are exercised by benchmarks/)."""
+
+import pytest
+
+from repro.core import InstrumentationConfig
+from repro.experiments.common import Runner, config_for, format_table, geomean
+from repro.workloads import get
+
+
+class TestConfigLabels:
+    def test_baseline_is_none(self):
+        assert config_for("baseline") is None
+
+    def test_optimized_labels(self):
+        sb = config_for("softbound")
+        assert sb.approach == "softbound" and sb.opt_dominance
+        lf = config_for("lowfat")
+        assert lf.approach == "lowfat" and lf.opt_dominance
+
+    def test_unopt_labels(self):
+        cfg = config_for("softbound-unopt")
+        assert not cfg.opt_dominance and cfg.mode == "full"
+
+    def test_meta_labels(self):
+        cfg = config_for("lowfat-meta")
+        assert cfg.mode == "geninvariants"
+
+    def test_unknown_label(self):
+        with pytest.raises(ValueError):
+            config_for("lowfat-turbo")
+
+
+class TestHelpers:
+    def test_geomean(self):
+        assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+        assert geomean([3.0]) == pytest.approx(3.0)
+        assert geomean([]) == 0.0
+
+    def test_format_table_alignment(self):
+        table = format_table(["name", "v"], [["a", "1.00x"], ["longer", "2"]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        assert all(len(line) <= len(max(lines, key=len)) for line in lines)
+
+
+class TestRunner:
+    def test_results_cached(self):
+        runner = Runner()
+        workload = get("197parser")
+        first = runner.run(workload, "baseline")
+        second = runner.run(workload, "baseline")
+        assert first is second
+
+    def test_overhead_above_one(self):
+        runner = Runner()
+        workload = get("197parser")
+        assert runner.overhead(workload, "softbound") > 1.0
+
+    def test_output_validated_against_baseline(self):
+        runner = Runner()
+        workload = get("197parser")
+        runner.baseline(workload)
+        result = runner.run(workload, "lowfat")
+        assert result.ok
+
+    def test_result_carries_static_statistics(self):
+        runner = Runner()
+        result = runner.run(get("197parser"), "softbound")
+        assert result.static.gathered_checks > 0
+        assert result.static.filtered_checks > 0  # opt_dominance on

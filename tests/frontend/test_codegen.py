@@ -1,0 +1,265 @@
+"""Tests for MiniC code generation (compile-and-run semantics)."""
+
+import pytest
+
+from repro.errors import CompileError
+from repro.frontend import compile_source
+from repro.ir import Cast, Load, Store, verify_module
+from repro.vm import VirtualMachine
+
+
+def run(src, **kw):
+    mod = compile_source(src, **kw)
+    verify_module(mod)
+    vm = VirtualMachine(mod, max_instructions=2_000_000)
+    code = vm.run()
+    return code, vm.output
+
+
+class TestBasics:
+    def test_conversions(self):
+        _, out = run(r"""
+        int main() {
+            char c = 200;            // wraps to -56 (signed char)
+            print_i64(c);
+            int i = 3.99;            // fptosi truncates
+            print_i64(i);
+            double d = 7;            // sitofp
+            print_f64(d);
+            long big = 1 << 20;
+            int truncated = (int)((big << 20) + 5);
+            print_i64(truncated);
+            return 0;
+        }""")
+        assert out == ["-56", "3", "7.000000", "5"]
+
+    def test_char_arithmetic_promotes(self):
+        _, out = run(r"""
+        int main() {
+            char a = 100; char b = 100;
+            print_i64(a + b);        // promoted to int: 200, no wrap
+            return 0;
+        }""")
+        assert out == ["200"]
+
+    def test_compound_assignment(self):
+        _, out = run(r"""
+        int main() {
+            int x = 10;
+            x += 5; print_i64(x);
+            x -= 3; print_i64(x);
+            x *= 2; print_i64(x);
+            x /= 4; print_i64(x);
+            x <<= 3; print_i64(x);
+            x |= 1; print_i64(x);
+            return 0;
+        }""")
+        assert out == ["15", "12", "24", "6", "48", "49"]
+
+    def test_postfix_and_prefix(self):
+        _, out = run(r"""
+        int main() {
+            int i = 5;
+            print_i64(i++);
+            print_i64(i);
+            print_i64(++i);
+            int a[3]; a[0] = 1; a[1] = 2; a[2] = 3;
+            int *p = a;
+            print_i64(*p++);
+            print_i64(*p);
+            return 0;
+        }""")
+        assert out == ["5", "6", "7", "1", "2"]
+
+    def test_ternary_types_unify(self):
+        _, out = run(r"""
+        int main() {
+            int i = 3;
+            double d = (i > 2) ? i : 0.5;   // int arm converts to double
+            print_f64(d);
+            return 0;
+        }""")
+        assert out == ["3.000000"]
+
+    def test_comma_operator(self):
+        _, out = run(r"""
+        int main() {
+            int x = (print_i64(1), 2);
+            print_i64(x);
+            return 0;
+        }""")
+        assert out == ["1", "2"]
+
+    def test_string_interning(self):
+        mod = compile_source(r"""
+        int main() { print_str("dup"); print_str("dup"); return 0; }""")
+        strings = [g for g in mod.globals.values() if g.name.startswith(".str")]
+        assert len(strings) == 1
+
+
+class TestPointers:
+    def test_nested_struct_access(self):
+        _, out = run(r"""
+        struct inner { int v; };
+        struct outer { struct inner in; int pad; };
+        int main() {
+            struct outer o;
+            o.in.v = 5; o.pad = 2;
+            print_i64(o.in.v + o.pad);
+            return 0;
+        }""")
+        assert out == ["7"]
+
+    def test_linked_list(self):
+        _, out = run(r"""
+        struct node { int value; struct node *next; };
+        int main() {
+            struct node *head = NULL;
+            for (int i = 0; i < 5; i++) {
+                struct node *n = (struct node *) malloc(sizeof(struct node));
+                n->value = i; n->next = head;
+                head = n;
+            }
+            long sum = 0;
+            struct node *cur = head;
+            while (cur != NULL) { sum = sum * 10 + cur->value; cur = cur->next; }
+            print_i64(sum);
+            return 0;
+        }""")
+        assert out == ["43210"]
+
+    def test_array_of_structs(self):
+        _, out = run(r"""
+        struct pair { int a; int b; };
+        int main() {
+            struct pair ps[4];
+            for (int i = 0; i < 4; i++) { ps[i].a = i; ps[i].b = i * i; }
+            long s = 0;
+            for (int i = 0; i < 4; i++) s += ps[i].a + ps[i].b;
+            print_i64(s);
+            return 0;
+        }""")
+        assert out == [str(sum(i + i * i for i in range(4)))]
+
+    def test_pointer_to_pointer(self):
+        _, out = run(r"""
+        int main() {
+            int x = 1;
+            int *p = &x;
+            int **pp = &p;
+            **pp = 9;
+            print_i64(x);
+            return 0;
+        }""")
+        assert out == ["9"]
+
+    def test_2d_array(self):
+        _, out = run(r"""
+        int grid[3][4];
+        int main() {
+            for (int i = 0; i < 3; i++)
+                for (int j = 0; j < 4; j++)
+                    grid[i][j] = i * 10 + j;
+            print_i64(grid[2][3]);
+            print_i64(grid[0][0]);
+            return 0;
+        }""")
+        assert out == ["23", "0"]
+
+    def test_address_of_array_element(self):
+        _, out = run(r"""
+        void bump(int *p) { *p = *p + 1; }
+        int main() {
+            int a[4]; a[2] = 10;
+            bump(&a[2]);
+            print_i64(a[2]);
+            return 0;
+        }""")
+        assert out == ["11"]
+
+
+class TestObfuscatedPointerCopies:
+    SRC = r"""
+    int main() {
+        int x = 5;
+        int *p = &x;
+        int *slot[1];
+        slot[0] = p;
+        int *q = slot[0];
+        print_i64(*q);
+        return 0;
+    }"""
+
+    def test_same_behaviour(self):
+        _, plain = run(self.SRC, obfuscate_pointer_copies=False)
+        _, obf = run(self.SRC, obfuscate_pointer_copies=True)
+        assert plain == obf == ["5"]
+
+    def test_obfuscation_emits_int_casts(self):
+        mod = compile_source(self.SRC, obfuscate_pointer_copies=True)
+        ops = [i.opcode for i in mod.get_function("main").instructions()]
+        assert "ptrtoint" in ops and "inttoptr" in ops
+        # pointer-typed stores disappear
+        stores = [
+            i for i in mod.get_function("main").instructions()
+            if isinstance(i, Store) and i.value.type.is_pointer()
+        ]
+        assert not stores
+
+
+class TestStaticAllocaHoisting:
+    def test_loop_local_array_hoisted_to_entry(self):
+        mod = compile_source(r"""
+        int main() {
+            long s = 0;
+            for (int i = 0; i < 3; i++) {
+                int tmp[8];
+                tmp[0] = i;
+                s += tmp[0];
+            }
+            print_i64(s);
+            return 0;
+        }""")
+        from repro.ir import Alloca
+
+        main = mod.get_function("main")
+        for block in main.blocks:
+            for inst in block.instructions:
+                if isinstance(inst, Alloca):
+                    assert block is main.entry
+
+
+class TestErrors:
+    def test_unknown_identifier(self):
+        with pytest.raises(CompileError, match="unknown identifier"):
+            compile_source("int main() { return nope; }")
+
+    def test_unknown_function(self):
+        with pytest.raises(CompileError, match="unknown function"):
+            compile_source("int main() { return nope(); }")
+
+    def test_arity_mismatch(self):
+        with pytest.raises(CompileError, match="expects 1"):
+            compile_source("int f(int a) { return a; } int main() { return f(1, 2); }")
+
+    def test_unknown_member(self):
+        with pytest.raises(CompileError, match="no member"):
+            compile_source(
+                "struct s { int a; }; int main() { struct s v; return v.b; }"
+            )
+
+    def test_deref_non_pointer(self):
+        with pytest.raises(CompileError, match="dereference"):
+            compile_source("int main() { int x = 1; return *x; }")
+
+    def test_break_outside_loop(self):
+        with pytest.raises(CompileError, match="break outside"):
+            compile_source("int main() { break; return 0; }")
+
+    def test_redeclaration(self):
+        with pytest.raises(CompileError, match="redeclaration"):
+            compile_source("int main() { int a = 1; int a = 2; return a; }")
+
+    def test_void_return_mismatch(self):
+        with pytest.raises(CompileError, match="return without value"):
+            compile_source("int main() { return; }")

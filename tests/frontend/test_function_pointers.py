@@ -1,0 +1,135 @@
+"""Function pointers in MiniC, uninstrumented and instrumented."""
+
+import pytest
+
+from repro import CompileOptions, compile_and_run
+from repro.core import InstrumentationConfig
+from repro.errors import CompileError
+from repro.frontend import compile_source
+from repro.ir import verify_module
+from repro.vm import VirtualMachine
+
+SRC = r"""
+int add(int a, int b) { return a + b; }
+int mul(int a, int b) { return a * b; }
+
+int apply(int (*op)(int, int), int a, int b) {
+    return op(a, b);
+}
+
+int main() {
+    int (*f)(int, int) = add;
+    print_i64(f(2, 3));
+    f = &mul;                       // &func decays identically
+    print_i64(f(2, 3));
+    print_i64(apply(add, 10, 20));
+    print_i64(apply(f, 10, 20));
+    return 0;
+}
+"""
+EXPECTED = ["5", "6", "30", "200"]
+
+
+def run(src, config=None, **kw):
+    options = CompileOptions(verify=True)
+    if config is None:
+        return compile_and_run(src, options=options, max_instructions=1_000_000)
+    return compile_and_run(src, config, options, max_instructions=1_000_000)
+
+
+class TestBasics:
+    def test_direct_and_indirect_calls(self):
+        result = run(SRC)
+        assert result.ok and result.output == EXPECTED
+
+    def test_global_function_pointer(self):
+        result = run(r"""
+        long twice(long x) { return x * 2; }
+        long (*handler)(long);
+        int main() {
+            handler = twice;
+            print_i64(handler(21));
+            return 0;
+        }""")
+        assert result.ok and result.output == ["42"]
+
+    def test_function_pointer_selected_at_runtime(self):
+        result = run(r"""
+        int up(int x) { return x + 1; }
+        int down(int x) { return x - 1; }
+        int main() {
+            long s = 0;
+            for (int i = 0; i < 6; i++) {
+                int (*step)(int) = (i % 2 == 0) ? up : down;
+                s += step(10);
+            }
+            print_i64(s);
+            return 0;
+        }""")
+        assert result.ok and result.output == [str(3 * 11 + 3 * 9)]
+
+    def test_builtin_as_function_pointer(self):
+        result = run(r"""
+        int main() {
+            long (*len)(char *) = strlen;
+            print_i64(len("four"));
+            return 0;
+        }""")
+        assert result.ok and result.output == ["4"]
+
+    def test_calling_non_callable_rejected(self):
+        with pytest.raises(CompileError, match="not callable"):
+            compile_source("int main() { int x = 1; return x(); }")
+
+    def test_arity_checked_through_pointer(self):
+        with pytest.raises(CompileError, match="expects 2"):
+            compile_source(r"""
+            int add(int a, int b) { return a + b; }
+            int main() { int (*f)(int, int) = add; return f(1); }""")
+
+
+class TestInstrumented:
+    @pytest.mark.parametrize(
+        "config",
+        [InstrumentationConfig.softbound(), InstrumentationConfig.lowfat()],
+        ids=["softbound", "lowfat"],
+    )
+    def test_behaviour_preserved(self, config):
+        result = run(SRC, config)
+        assert result.ok, result.describe()
+        assert result.output == EXPECTED
+
+    @pytest.mark.parametrize(
+        "config",
+        [InstrumentationConfig.softbound(), InstrumentationConfig.lowfat()],
+        ids=["softbound", "lowfat"],
+    )
+    def test_oob_through_callback_detected(self, config):
+        """The callback writes out of bounds of the array the indirect
+        caller handed it: bounds must travel across the indirect call."""
+        result = run(r"""
+        void clobber(int *p) { p[100000] = 1; }
+        void apply(void (*cb)(int *), int *arr) { cb(arr); }
+        int main() {
+            int *a = (int *) malloc(sizeof(int) * 4);
+            apply(clobber, a);
+            free((void*)a);
+            return 0;
+        }""", config)
+        assert result.violation is not None
+        assert result.violation.kind == "deref"
+
+    def test_stored_function_pointer_gets_trie_metadata(self):
+        """Function pointers stored to memory go through SoftBound's
+        trie like any other pointer (with wide code-pointer bounds)."""
+        program_src = r"""
+        int five() { return 5; }
+        int (*slot)();
+        int main() {
+            slot = five;
+            print_i64(slot());
+            return 0;
+        }"""
+        result = run(program_src, InstrumentationConfig.softbound())
+        assert result.ok and result.output == ["5"]
+        assert result.stats.trie_stores >= 1

@@ -1,0 +1,72 @@
+"""The artifact's functional suite (Appendix A.5), generated.
+
+~200 executions: every corpus program is instrumented with SoftBound
+and Low-Fat Pointers and must match the model's predicted verdict --
+violating programs are reported (except where they land in Low-Fat's
+class padding), clean programs run unmodified with baseline-identical
+output.
+"""
+
+import pytest
+
+from repro import CompileOptions, compile_and_run
+from repro.core import InstrumentationConfig
+from repro.workloads.functional import corpus_by_name, generate_corpus
+
+CONFIGS = {
+    "softbound": InstrumentationConfig.softbound(),
+    "lowfat": InstrumentationConfig.lowfat(),
+}
+CORPUS = corpus_by_name()
+ALL_NAMES = sorted(CORPUS)
+CLEAN_NAMES = sorted(n for n, c in CORPUS.items() if c.violation == "none")
+
+
+def observed(case, approach):
+    result = compile_and_run(
+        case.source, CONFIGS[approach], max_instructions=2_000_000
+    )
+    if result.violation is not None:
+        return "violation", result
+    # An unreported OOB may silently corrupt or trap; for verdict
+    # purposes only *reported* violations count (as in the artifact).
+    return "ok", result
+
+
+class TestCorpusShape:
+    def test_corpus_size(self):
+        # 3 regions x 4 types x (1 clean + 2 accesses x 3 violations)
+        assert len(generate_corpus()) == 3 * 4 * 7 == 84
+
+    def test_all_dimensions_covered(self):
+        regions = {c.region for c in CORPUS.values()}
+        elements = {c.element for c in CORPUS.values()}
+        violations = {c.violation for c in CORPUS.values()}
+        assert regions == {"heap", "stack", "global"}
+        assert elements == {"char", "int", "long", "double"}
+        assert violations == {"none", "adjacent", "far", "underflow"}
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_softbound_verdict(name):
+    case = CORPUS[name]
+    verdict, result = observed(case, "softbound")
+    assert verdict == case.expected["softbound"], result.describe()
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_lowfat_verdict(name):
+    case = CORPUS[name]
+    verdict, result = observed(case, "lowfat")
+    assert verdict == case.expected["lowfat"], result.describe()
+
+
+@pytest.mark.parametrize("name", CLEAN_NAMES)
+def test_clean_programs_output_is_baseline_identical(name):
+    case = CORPUS[name]
+    baseline = compile_and_run(case.source, max_instructions=2_000_000)
+    assert baseline.ok
+    for approach in CONFIGS:
+        verdict, result = observed(case, approach)
+        assert verdict == "ok"
+        assert result.output == baseline.output

@@ -1,0 +1,140 @@
+"""Differential fuzzing: randomly generated well-defined MiniC programs
+must produce identical output
+
+* at -O0 and -O3 (compiler soundness),
+* under SoftBound and Low-Fat instrumentation (instrumentation
+  transparency: a sanitizer must not change defined behaviour).
+
+The generator only emits defined behaviour: array indices are masked
+into bounds, divisors are forced nonzero, shift amounts are masked, and
+loops have constant trip counts.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import CompileOptions, compile_and_run, compile_program, run_program
+from repro.core import InstrumentationConfig
+
+VARS = ["v0", "v1", "v2", "v3"]
+ARRAYS = [("arr", 16), ("grid", 8)]
+
+
+@st.composite
+def expressions(draw, depth=0):
+    choice = draw(st.integers(0, 5 if depth < 3 else 1))
+    if choice == 0:
+        return str(draw(st.integers(-100, 100)))
+    if choice == 1:
+        return draw(st.sampled_from(VARS))
+    left = draw(expressions(depth=depth + 1))
+    right = draw(expressions(depth=depth + 1))
+    if choice == 2:
+        op = draw(st.sampled_from(["+", "-", "*", "&", "|", "^"]))
+        return f"({left} {op} {right})"
+    if choice == 3:
+        op = draw(st.sampled_from(["/", "%"]))
+        return f"({left} {op} (({right} & 15) + 1))"   # nonzero divisor
+    if choice == 4:
+        op = draw(st.sampled_from(["<<", ">>"]))
+        return f"({left} {op} ({right} & 7))"          # bounded shift
+    name, size = draw(st.sampled_from(ARRAYS))
+    return f"{name}[({left}) & {size - 1}]"            # in-bounds index
+
+
+@st.composite
+def statements(draw, depth=0):
+    choice = draw(st.integers(0, 3 if depth < 2 else 1))
+    if choice == 0:
+        var = draw(st.sampled_from(VARS))
+        return f"{var} = {draw(expressions())};"
+    if choice == 1:
+        name, size = draw(st.sampled_from(ARRAYS))
+        idx = draw(expressions())
+        return f"{name}[({idx}) & {size - 1}] = {draw(expressions())};"
+    if choice == 2:
+        cond = draw(expressions())
+        then = draw(statements(depth=depth + 1))
+        other = draw(statements(depth=depth + 1))
+        return f"if (({cond}) > 0) {{ {then} }} else {{ {other} }}"
+    trip = draw(st.integers(1, 6))
+    body = draw(statements(depth=depth + 1))
+    loop_var = f"it{depth}"
+    return (f"for (int {loop_var} = 0; {loop_var} < {trip}; {loop_var}++) "
+            f"{{ {body} v0 = v0 + {loop_var}; }}")
+
+
+@st.composite
+def programs(draw):
+    body = "\n    ".join(draw(st.lists(statements(), min_size=3, max_size=10)))
+    decls = "\n    ".join(f"int {v} = {draw(st.integers(-50, 50))};"
+                          for v in VARS)
+    arrays = "\n    ".join(
+        f"int {name}[{size}];" for name, size in ARRAYS
+    )
+    fills = "\n    ".join(
+        f"for (int i = 0; i < {size}; i++) {name}[i] = i * {draw(st.integers(1, 9))};"
+        for name, size in ARRAYS
+    )
+    prints = "\n    ".join(f"print_i64({v});" for v in VARS)
+    array_sums = "\n    ".join(
+        f"{{ long s = 0; for (int i = 0; i < {size}; i++) s += {name}[i]; "
+        f"print_i64(s); }}"
+        for name, size in ARRAYS
+    )
+    return f"""
+int main() {{
+    {arrays}
+    {decls}
+    {fills}
+    {body}
+    {prints}
+    {array_sums}
+    return 0;
+}}
+"""
+
+
+FUZZ_SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@given(programs())
+@FUZZ_SETTINGS
+def test_o0_equals_o3(source):
+    o0 = compile_and_run(source, options=CompileOptions(opt_level=0),
+                         max_instructions=3_000_000)
+    o3 = compile_and_run(source, options=CompileOptions(opt_level=3),
+                         max_instructions=3_000_000)
+    assert o0.ok, o0.describe()
+    assert o3.ok, o3.describe()
+    assert o0.output == o3.output
+
+
+@given(programs())
+@FUZZ_SETTINGS
+def test_instrumentation_transparency(source):
+    baseline = compile_and_run(source, max_instructions=3_000_000)
+    assert baseline.ok, baseline.describe()
+    for config in (InstrumentationConfig.softbound(opt_dominance=True),
+                   InstrumentationConfig.lowfat(opt_dominance=True)):
+        result = compile_and_run(source, config, max_instructions=5_000_000)
+        assert result.ok, f"{config.approach}: {result.describe()}"
+        assert result.output == baseline.output
+
+
+@given(programs())
+@FUZZ_SETTINGS
+def test_early_extension_point_transparency(source):
+    baseline = compile_and_run(source, max_instructions=3_000_000)
+    assert baseline.ok
+    options = CompileOptions(extension_point="ModuleOptimizerEarly")
+    result = compile_and_run(
+        source, InstrumentationConfig.softbound(), options,
+        max_instructions=5_000_000,
+    )
+    assert result.ok, result.describe()
+    assert result.output == baseline.output

@@ -1,0 +1,386 @@
+"""The paper's Section 4 usability case studies, as executable tests.
+
+Each test reproduces one of the paper's findings about how valid C
+programs are unexpectedly rejected, or violations remain unnoticed:
+
+* 4.2  out-of-bounds pointer arithmetic -> Low-Fat invariant reports;
+* 4.3  uninstrumented libraries -> stale shadow-stack return bounds;
+* 4.3  size-less extern arrays -> SoftBound wide bounds;
+* 4.4  integer-obfuscated pointer copies (Figure 7's swap) -> SoftBound
+       stale trie metadata, spurious report;
+* 4.5  byte-wise pointer copies -> same;
+* 4.6  >1 GiB allocations -> Low-Fat fallback, unchecked accesses;
+* Appendix B: intra-object overflow folded away by the frontend.
+"""
+
+import pytest
+
+from repro import CompileOptions, compile_program, compile_and_run, run_program
+from repro.core import InstrumentationConfig
+
+SB = InstrumentationConfig.softbound()
+LF = InstrumentationConfig.lowfat()
+
+
+def classify(result):
+    if result.violation is not None:
+        return f"violation:{result.violation.kind}"
+    if result.fault is not None:
+        return "fault"
+    return "ok"
+
+
+class TestOutOfBoundsPointerArithmetic:
+    """Section 4.2: 73% of C programmers expect OOB pointer arithmetic
+    to work when brought back in bounds before the access."""
+
+    USE_TU = "long use(int *p) { return p[1]; }\n"
+    MAIN_TU = r"""
+    long use(int *p);
+    int main() {
+        int *a = (int *) malloc(sizeof(int) * 8);
+        a[0] = 5;
+        long v = use(a - 1);       // OOB pointer, back in bounds inside
+        print_i64(v);
+        free((void*)a);
+        return 0;
+    }"""
+
+    def _run(self, config):
+        program = compile_program(
+            {"use.c": self.USE_TU, "main.c": self.MAIN_TU}, config,
+            CompileOptions(verify=True),
+        )
+        return run_program(program, max_instructions=1_000_000)
+
+    def test_softbound_accepts(self):
+        result = self._run(SB)
+        assert classify(result) == "ok"
+        assert result.output == ["5"]
+
+    def test_lowfat_rejects_at_escape(self):
+        result = self._run(LF)
+        assert classify(result) == "violation:invariant"
+
+    def test_pseudo_base_one_array(self):
+        """The perl/254gap pattern (Section 5.1.1): a pointer one
+        element before an array's start."""
+        src = r"""
+        long consume(int *base1) { return base1[1] + base1[3]; }
+        int main() {
+            int *a = (int *) malloc(sizeof(int) * 8);
+            for (int i = 0; i < 8; i++) a[i] = i * 10;
+            long v = consume(a - 1);  // pseudo base-one array
+            print_i64(v);
+            free((void*)a);
+            return 0;
+        }"""
+        sources = {"lib.c": "long consume(int *base1) { return base1[1] + base1[3]; }",
+                   "main.c": src.replace(
+                       "long consume(int *base1) { return base1[1] + base1[3]; }",
+                       "long consume(int *base1);")}
+        lf = run_program(compile_program(sources, LF, CompileOptions(verify=True)),
+                         max_instructions=1_000_000)
+        assert classify(lf) == "violation:invariant"
+        sb = run_program(compile_program(sources, SB, CompileOptions(verify=True)),
+                         max_instructions=1_000_000)
+        assert classify(sb) == "ok"
+
+
+class TestObfuscatedSwap:
+    """Section 4.4 / Figure 7: one translation unit moves pointers
+    through i64 loads/stores (the LLVM-12-style translation)."""
+
+    SWAP_TU = r"""
+    void swap(double **one, double **two) {
+        double *tmp = *one;
+        *one = *two;
+        *two = tmp;
+    }"""
+    MAIN_TU = r"""
+    void swap(double **one, double **two);
+    double ga; double gb;
+    int main() {
+        double *pa = &ga; double *pb = &gb;
+        ga = 1.5; gb = 2.5;
+        swap(&pa, &pb);
+        print_f64(*pa + *pb);
+        return 0;
+    }"""
+
+    def _run(self, config, obfuscate):
+        options = CompileOptions(
+            verify=True,
+            obfuscate_pointer_copies=["swap.c"] if obfuscate else False,
+        )
+        program = compile_program(
+            {"swap.c": self.SWAP_TU, "main.c": self.MAIN_TU}, config, options
+        )
+        return run_program(program, max_instructions=1_000_000)
+
+    def test_clean_translation_fine_for_both(self):
+        assert classify(self._run(SB, False)) == "ok"
+        assert classify(self._run(LF, False)) == "ok"
+
+    def test_softbound_false_positive_on_obfuscated(self):
+        """The stores through i64 bypass the trie; main later loads the
+        pointer with *stale* metadata and reports a spurious error."""
+        result = self._run(SB, True)
+        assert classify(result) == "violation:deref"
+
+    def test_lowfat_unaffected(self):
+        result = self._run(LF, True)
+        assert classify(result) == "ok"
+        assert result.output == ["4.000000"]
+
+
+class TestByteWiseCopy:
+    """Section 4.5: copying a pointer byte-by-byte (legal C) leaves
+    SoftBound's metadata behind."""
+
+    SRC = r"""
+    int main() {
+        long x = 77;
+        long *src = &x;
+        long *dst;
+        char *from = (char *) &src;
+        char *to = (char *) &dst;
+        for (int i = 0; i < 8; i++) to[i] = from[i];
+        print_i64(*dst);
+        return 0;
+    }"""
+
+    def test_softbound_spurious_report(self):
+        result = compile_and_run(self.SRC, SB, CompileOptions(verify=True),
+                                 max_instructions=1_000_000)
+        assert classify(result) == "violation:deref"
+
+    def test_lowfat_fine(self):
+        result = compile_and_run(self.SRC, LF, CompileOptions(verify=True),
+                                 max_instructions=1_000_000)
+        assert classify(result) == "ok"
+        assert result.output == ["77"]
+
+    def test_memcpy_fixes_softbound(self):
+        """The paper's fix for 300twolf: memcpy instead of the manual
+        loop -- the wrapper copies the metadata (Figure 6)."""
+        fixed = self.SRC.replace(
+            "for (int i = 0; i < 8; i++) to[i] = from[i];",
+            "memcpy((void*)to, (void*)from, 8);",
+        )
+        result = compile_and_run(fixed, SB, CompileOptions(verify=True),
+                                 max_instructions=1_000_000)
+        assert classify(result) == "ok"
+        assert result.output == ["77"]
+
+
+class TestSizeLessExternArrays:
+    """Section 4.3: size-less declarations under separate compilation."""
+
+    DATA_TU = "int shared[16];\n"
+    USE_TU = r"""
+    extern int shared[];
+    long total() {
+        long t = 0;
+        for (int i = 0; i < 16; i++) t += shared[i];
+        return t;
+    }"""
+    MAIN_TU = r"""
+    long total();
+    extern int shared[];
+    int main() {
+        for (int i = 0; i < 16; i++) shared[i] = i;
+        print_i64(total());
+        return 0;
+    }"""
+
+    def _program(self, config):
+        return compile_program(
+            {"data.c": self.DATA_TU, "use.c": self.USE_TU,
+             "main.c": self.MAIN_TU},
+            config, CompileOptions(verify=True),
+        )
+
+    def test_softbound_wide_bounds(self):
+        result = run_program(self._program(SB), max_instructions=1_000_000)
+        assert result.ok
+        assert result.stats.checks_wide > 0
+
+    def test_lowfat_fully_checked(self):
+        result = run_program(self._program(LF), max_instructions=1_000_000)
+        assert result.ok
+        assert result.stats.checks_wide == 0
+
+    def test_softbound_null_upper_rejects(self):
+        """Without -mi-sb-size-zero-wide-upper, NULL bounds cause
+        spurious reports (the paper's other option)."""
+        strict = SB.with_(sb_size_zero_wide_upper=False)
+        result = run_program(self._program(strict), max_instructions=1_000_000)
+        assert classify(result) == "violation:deref"
+
+    def test_softbound_overflow_through_sizeless_missed(self):
+        """The security cost of wide bounds: a real overflow through
+        the size-less array goes undetected by SoftBound but is caught
+        by Low-Fat (Table 2's 164gzip column)."""
+        bad_use = self.USE_TU.replace("i < 16", "i < 600000")
+        sources = {"data.c": self.DATA_TU, "use.c": bad_use,
+                   "main.c": self.MAIN_TU}
+        sb = run_program(
+            compile_program(sources, SB, CompileOptions(verify=True)),
+            max_instructions=20_000_000,
+        )
+        assert sb.violation is None     # missed (faults eventually)
+        lf = run_program(
+            compile_program(sources, LF, CompileOptions(verify=True)),
+            max_instructions=20_000_000,
+        )
+        assert classify(lf) == "violation:deref"
+
+
+class TestUninstrumentedLibraries:
+    """Section 4.3: calls into code that was never recompiled."""
+
+    def test_stale_return_bounds_cause_spurious_report(self):
+        # `mystery` is declared but never defined/instrumented; the VM
+        # provides a native implementation (the "binary-only library").
+        sources = {"main.c": r"""
+        int *mystery();
+        int main() {
+            int *a = (int *) malloc(sizeof(int) * 4);   // sets ret slot
+            a[0] = 1;
+            int *p = mystery();     // does NOT update the ret slot
+            p[9] = 5;               // checked against malloc's bounds!
+            return 0;
+        }"""}
+        program = compile_program(sources, SB, CompileOptions(verify=True))
+
+        from repro.driver import make_vm
+        from repro.vm.memory import Allocation
+
+        vm = make_vm(program, max_instructions=1_000_000)
+
+        def mystery(vm_, args):
+            alloc = vm_.heap.malloc(64, "library-object")
+            return alloc.base
+
+        vm.register_native("mystery", mystery)
+        program.module.get_function("mystery").native = True
+        from repro.errors import MemSafetyViolation
+
+        with pytest.raises(MemSafetyViolation):
+            vm.run()
+
+
+class TestHugeAllocations:
+    """Section 4.6: Low-Fat cannot track objects above 1 GiB."""
+
+    SRC = r"""
+    int main() {
+        char *big = (char *) malloc(1073741824);
+        big[0] = 1;
+        big[1073741823] = 2;
+        print_i64(big[0] + big[1073741823]);
+        free((void*)big);
+        return 0;
+    }"""
+
+    def test_lowfat_falls_back_and_goes_wide(self):
+        result = compile_and_run(self.SRC, LF, CompileOptions(verify=True),
+                                 max_instructions=1_000_000)
+        assert result.ok
+        assert result.stats.lowfat_fallback_allocs == 1
+        assert result.stats.checks_wide > 0
+
+    def test_softbound_tracks_huge_allocations(self):
+        result = compile_and_run(self.SRC, SB, CompileOptions(verify=True),
+                                 max_instructions=1_000_000)
+        assert result.ok
+        assert result.stats.checks_wide == 0
+
+    def test_softbound_detects_overflow_of_huge_allocation(self):
+        bad = self.SRC.replace("big[1073741823] = 2;", "big[1073741830] = 2;")
+        result = compile_and_run(bad, SB, CompileOptions(verify=True),
+                                 max_instructions=1_000_000)
+        assert classify(result) == "violation:deref"
+
+
+class TestIntraObjectOverflow:
+    """Appendix B / Figure 14: &P.y - 1 folds to &P.x at -O1, so there
+    is no issue left to report at the IR level."""
+
+    SRC = r"""
+    struct simple_pair { int x; int y; };
+    struct simple_pair P;
+    int main() {
+        int *p = &P.y - 1;      // intra-object: points at P.x
+        *p = 42;
+        print_i64(P.x);
+        return 0;
+    }"""
+
+    @pytest.mark.parametrize("config", [SB, LF], ids=["softbound", "lowfat"])
+    def test_folded_away_not_reported(self, config):
+        result = compile_and_run(self.SRC, config, CompileOptions(verify=True),
+                                 max_instructions=1_000_000)
+        assert classify(result) == "ok"
+        assert result.output == ["42"]
+
+
+class TestIntToPtrCasts:
+    """Section 4.4: integer-to-pointer casts."""
+
+    # The intervening store keeps GVN from forwarding `stash` back to
+    # the cast (which would fold inttoptr(ptrtoint(a)) away entirely).
+    SRC = r"""
+    long stash;
+    int main() {
+        int *a = (int *) malloc(sizeof(int) * 4);
+        stash = (long) a;
+        a[0] = 9;
+        int *back = (int *) stash;
+        print_i64(back[0]);
+        free((void*)a);
+        return 0;
+    }"""
+
+    def test_softbound_wide_bounds_accepts(self):
+        result = compile_and_run(self.SRC, SB, CompileOptions(verify=True),
+                                 max_instructions=1_000_000)
+        assert result.ok
+        assert result.stats.checks_wide > 0   # unchecked, though
+
+    def test_softbound_null_bounds_rejects(self):
+        strict = SB.with_(sb_inttoptr_wide_bounds=False)
+        result = compile_and_run(self.SRC, strict, CompileOptions(verify=True),
+                                 max_instructions=1_000_000)
+        assert classify(result) == "violation:deref"
+
+    def test_lowfat_recovers_base_from_value(self):
+        result = compile_and_run(self.SRC, LF, CompileOptions(verify=True),
+                                 max_instructions=1_000_000)
+        assert result.ok
+        assert result.stats.checks_wide == 0  # base derived from value
+
+    def test_lowfat_misses_corruption_through_int(self):
+        """Low-Fat's invariant blind spot: the integer is corrupted to
+        point into a *different* object; the base is recomputed from
+        the corrupted value, so the access is 'in bounds' of the wrong
+        object."""
+        src = r"""
+        long stash;
+        int main() {
+            int *a = (int *) malloc(sizeof(int) * 4);
+            int *b = (int *) malloc(sizeof(int) * 4);
+            b[0] = 1;
+            stash = (long) a;
+            stash = stash + ((long) b - (long) a);   // corrupted!
+            int *p = (int *) stash;
+            *p = 99;                 // silently writes b[0]
+            print_i64(b[0]);
+            free((void*)a); free((void*)b);
+            return 0;
+        }"""
+        result = compile_and_run(src, LF, CompileOptions(verify=True),
+                                 max_instructions=1_000_000)
+        assert result.ok                     # undetected
+        assert result.output == ["99"]       # silent corruption

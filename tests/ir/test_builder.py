@@ -1,0 +1,102 @@
+"""Tests for the IRBuilder insertion-point machinery."""
+
+import pytest
+
+from repro.ir import (
+    FunctionType,
+    I1,
+    I32,
+    I64,
+    IRBuilder,
+    Module,
+    ptr,
+    verify_function,
+)
+
+
+def _setup():
+    mod = Module("t")
+    fn = mod.add_function("f", FunctionType(I64, [I64]), ["x"])
+    entry = fn.add_block("entry")
+    return mod, fn, IRBuilder(entry)
+
+
+class TestInsertionPoints:
+    def test_appends_in_order(self):
+        _, fn, b = _setup()
+        a = b.add(fn.args[0], b.const_i64(1))
+        c = b.mul(a, a)
+        b.ret(c)
+        opcodes = [i.opcode for i in fn.entry.instructions]
+        assert opcodes == ["add", "mul", "ret"]
+
+    def test_position_before(self):
+        _, fn, b = _setup()
+        a = b.add(fn.args[0], b.const_i64(1))
+        b.ret(a)
+        b.position_before(a)
+        s = b.sub(fn.args[0], b.const_i64(2))
+        assert fn.entry.instructions[0] is s
+
+    def test_position_after(self):
+        _, fn, b = _setup()
+        a = b.add(fn.args[0], b.const_i64(1))
+        r = b.ret(a)
+        b.position_after(a)
+        m = b.mul(a, a)
+        assert fn.entry.instructions[1] is m
+        assert fn.entry.instructions[2] is r
+
+    def test_position_at_start_skips_phis(self):
+        _, fn, b = _setup()
+        loop = fn.add_block("loop")
+        b.br(loop)
+        b.position_at_end(loop)
+        phi = b.phi(I64)
+        phi.add_incoming(b.const_i64(0), fn.entry)
+        b.position_at_start(loop)
+        inst = b.add(phi, b.const_i64(1))
+        assert loop.instructions[0] is phi
+        assert loop.instructions[1] is inst
+
+    def test_phi_inserted_at_block_start(self):
+        _, fn, b = _setup()
+        loop = fn.add_block("loop")
+        b.br(loop)
+        b.position_at_end(loop)
+        first = b.add(fn.args[0], b.const_i64(1))
+        phi = b.phi(I64)
+        assert loop.instructions[0] is phi
+        assert loop.instructions[1] is first
+
+
+class TestHelpers:
+    def test_bitcast_same_type_is_identity(self):
+        _, fn, b = _setup()
+        # ptr-to-same-ptr bitcast returns the value unchanged
+        mod2 = Module("u")
+        g = mod2.add_function("g", FunctionType(I64, [ptr(I32)]), ["p"])
+        gb = IRBuilder(g.add_block("entry"))
+        same = gb.bitcast(g.args[0], ptr(I32))
+        assert same is g.args[0]
+
+    def test_gep_index_constants(self):
+        mod = Module("t")
+        from repro.ir import ArrayType
+
+        fn = mod.add_function("g", FunctionType(I32, [ptr(ArrayType(I32, 4))]))
+        b = IRBuilder(fn.add_block("entry"))
+        gep = b.gep_index(fn.args[0], 0, 2)
+        assert gep.type == ptr(I32)
+
+    def test_full_function_verifies(self):
+        _, fn, b = _setup()
+        cond_true = fn.add_block("t")
+        cond_false = fn.add_block("f")
+        cond = b.icmp("sgt", fn.args[0], b.const_i64(0))
+        b.cond_br(cond, cond_true, cond_false)
+        b.position_at_end(cond_true)
+        b.ret(fn.args[0])
+        b.position_at_end(cond_false)
+        b.ret(b.const_i64(0))
+        verify_function(fn)

@@ -1,0 +1,171 @@
+"""Tests for instruction construction and classification."""
+
+import pytest
+
+from repro.ir import (
+    Alloca,
+    ArrayType,
+    BinOp,
+    Call,
+    Cast,
+    CondBr,
+    ConstantInt,
+    FunctionType,
+    GEP,
+    I1,
+    I32,
+    I64,
+    I8,
+    ICmp,
+    IRBuilder,
+    Load,
+    Module,
+    Phi,
+    Ret,
+    Select,
+    Store,
+    StructType,
+    VOID,
+    ptr,
+)
+
+
+def _fn(mod=None, name="f", ret=I32, params=()):
+    mod = mod or Module("t")
+    fn = mod.add_function(name, FunctionType(ret, list(params)))
+    fn.add_block("entry")
+    return mod, fn
+
+
+class TestConstruction:
+    def test_load_requires_pointer(self):
+        with pytest.raises(TypeError):
+            Load(ConstantInt(I64, 0))
+
+    def test_load_result_type_is_pointee(self):
+        mod, fn = _fn(params=[ptr(I32)])
+        load = Load(fn.args[0])
+        assert load.type == I32
+
+    def test_store_type_mismatch_rejected(self):
+        mod, fn = _fn(params=[ptr(I32)])
+        with pytest.raises(TypeError):
+            Store(ConstantInt(I64, 1), fn.args[0])
+
+    def test_binop_types_must_match(self):
+        with pytest.raises(TypeError):
+            BinOp("add", ConstantInt(I32, 1), ConstantInt(I64, 1))
+
+    def test_unknown_binop_rejected(self):
+        with pytest.raises(ValueError):
+            BinOp("frobnicate", ConstantInt(I32, 1), ConstantInt(I32, 1))
+
+    def test_icmp_result_is_i1(self):
+        cmp = ICmp("slt", ConstantInt(I32, 1), ConstantInt(I32, 2))
+        assert cmp.type == I1
+
+    def test_select_requires_i1(self):
+        with pytest.raises(TypeError):
+            Select(ConstantInt(I32, 1), ConstantInt(I32, 1), ConstantInt(I32, 2))
+
+    def test_condbr_requires_i1(self):
+        mod, fn = _fn()
+        a, b = fn.add_block("a"), fn.add_block("b")
+        with pytest.raises(TypeError):
+            CondBr(ConstantInt(I32, 1), a, b)
+
+    def test_phi_incoming_type_checked(self):
+        mod, fn = _fn()
+        phi = Phi(I32)
+        with pytest.raises(TypeError):
+            phi.add_incoming(ConstantInt(I64, 1), fn.entry)
+
+
+class TestGEP:
+    def test_first_index_keeps_type(self):
+        mod, fn = _fn(params=[ptr(I32)])
+        gep = GEP(fn.args[0], [ConstantInt(I64, 3)])
+        assert gep.type == ptr(I32)
+
+    def test_array_indexing(self):
+        mod, fn = _fn(params=[ptr(ArrayType(I32, 10))])
+        gep = GEP(fn.args[0], [ConstantInt(I64, 0), ConstantInt(I64, 2)])
+        assert gep.type == ptr(I32)
+
+    def test_struct_indexing(self):
+        sty = StructType("pair", [I32, I64])
+        mod, fn = _fn(params=[ptr(sty)])
+        gep = GEP(fn.args[0], [ConstantInt(I64, 0), ConstantInt(I32, 1)])
+        assert gep.type == ptr(I64)
+
+    def test_struct_index_must_be_constant(self):
+        sty = StructType("pair2", [I32, I64])
+        mod, fn = _fn(params=[ptr(sty), I64])
+        with pytest.raises(TypeError):
+            GEP(fn.args[0], [ConstantInt(I64, 0), fn.args[1]])
+
+    def test_scalar_indexing_rejected(self):
+        mod, fn = _fn(params=[ptr(I32)])
+        with pytest.raises(TypeError):
+            GEP(fn.args[0], [ConstantInt(I64, 0), ConstantInt(I64, 0)])
+
+
+class TestClassification:
+    def test_terminators(self):
+        mod, fn = _fn()
+        target = fn.add_block("x")
+        from repro.ir import Br, Unreachable
+
+        assert Ret(ConstantInt(I32, 0)).is_terminator()
+        assert Br(target).is_terminator()
+        assert Unreachable().is_terminator()
+        assert not Phi(I32).is_terminator()
+        assert not ICmp("eq", ConstantInt(I32, 0), ConstantInt(I32, 0)).is_terminator()
+
+    def test_store_has_side_effects(self):
+        mod, fn = _fn(params=[ptr(I32)])
+        store = Store(ConstantInt(I32, 1), fn.args[0])
+        assert store.has_side_effects()
+        assert store.may_write_memory()
+        assert not store.may_read_memory()
+
+    def test_call_attribute_driven_effects(self):
+        mod = Module("t")
+        pure = mod.add_function("pure", FunctionType(I32, []))
+        pure.attributes.add("readnone")
+        ro = mod.add_function("ro", FunctionType(I32, []))
+        ro.attributes.add("readonly")
+        unknown = mod.add_function("unk", FunctionType(I32, []))
+        check = mod.add_function("chk", FunctionType(VOID, []))
+        check.attributes.update({"mi_check", "may_abort"})
+
+        assert not Call(pure, []).has_side_effects()
+        assert not Call(ro, []).has_side_effects()
+        assert not Call(ro, []).may_write_memory()
+        assert Call(ro, []).may_read_memory()
+        assert Call(unknown, []).has_side_effects()
+        assert Call(unknown, []).may_write_memory()
+        # checks may abort: never removable, treated as barriers
+        assert Call(check, []).has_side_effects()
+        assert not Call(check, []).is_pure_call()
+
+    def test_phi_incoming_management(self):
+        mod, fn = _fn()
+        a, b = fn.add_block("a"), fn.add_block("b")
+        phi = Phi(I32)
+        phi.add_incoming(ConstantInt(I32, 1), a)
+        phi.add_incoming(ConstantInt(I32, 2), b)
+        assert phi.incoming_value_for(a).value == 1
+        phi.remove_incoming(a)
+        assert phi.num_operands == 1
+        with pytest.raises(KeyError):
+            phi.incoming_value_for(a)
+
+    def test_callee_function_direct_and_indirect(self):
+        mod = Module("t")
+        callee = mod.add_function("callee", FunctionType(I32, []))
+        caller = mod.add_function("caller", FunctionType(I32, [ptr(FunctionType(I32, []))]))
+        direct = Call(callee, [])
+        assert direct.callee_function is callee
+        indirect = Call(caller.args[0], [])
+        assert indirect.callee_function is None

@@ -1,0 +1,158 @@
+"""Tests for the IR text parser (printer round-trip)."""
+
+import pytest
+
+from repro.errors import CompileError
+from repro.frontend import compile_source
+from repro.ir import format_module, parse_module, verify_module
+from repro.vm import VirtualMachine
+
+
+def roundtrip(mod):
+    text = format_module(mod)
+    reparsed = parse_module(text)
+    verify_module(reparsed)
+    return reparsed, text
+
+
+def run(mod, max_instructions=1_000_000):
+    vm = VirtualMachine(mod, max_instructions=max_instructions)
+    return vm.run(), vm.output
+
+
+PROGRAMS = {
+    "scalars": r"""
+        int main() {
+            long a = 6; long b = 7;
+            print_i64(a * b - 2);
+            return 0;
+        }""",
+    "control-flow": r"""
+        int main() {
+            long s = 0;
+            for (int i = 0; i < 10; i++)
+                if (i % 2 == 0) s += i; else s -= 1;
+            print_i64(s);
+            return 0;
+        }""",
+    "structs": r"""
+        struct pair { int a; long b; };
+        int main() {
+            struct pair p;
+            p.a = 3; p.b = 400;
+            print_i64(p.a + p.b);
+            return 0;
+        }""",
+    "pointers-and-heap": r"""
+        int main() {
+            int *buf = (int *) malloc(sizeof(int) * 4);
+            for (int i = 0; i < 4; i++) buf[i] = i * i;
+            print_i64(buf[3]);
+            free((void*)buf);
+            return 0;
+        }""",
+    "floats": r"""
+        int main() {
+            double x = 2.0;
+            print_f64(sqrt(x) + 0.5);
+            return 0;
+        }""",
+    "strings": r"""
+        int main() {
+            print_str("round\ntrip");
+            return 0;
+        }""",
+    "calls-and-recursion": r"""
+        int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+        int main() { print_i64(fib(12)); return 0; }""",
+    "globals": r"""
+        int counter = 5;
+        int table[4];
+        int main() {
+            table[counter % 4] = counter;
+            print_i64(table[1]);
+            return 0;
+        }""",
+}
+
+
+@pytest.mark.parametrize("name", sorted(PROGRAMS))
+def test_roundtrip_preserves_behaviour(name):
+    mod = compile_source(PROGRAMS[name])
+    expected = run(compile_source(PROGRAMS[name]))
+    reparsed, _ = roundtrip(mod)
+    assert run(reparsed) == expected
+
+
+@pytest.mark.parametrize("name", sorted(PROGRAMS))
+def test_print_parse_print_fixpoint(name):
+    mod = compile_source(PROGRAMS[name])
+    reparsed, text1 = roundtrip(mod)
+    text2 = format_module(reparsed)
+    reparsed2 = parse_module(text2)
+    assert format_module(reparsed2) == text2
+
+
+def test_roundtrip_after_optimization():
+    from repro.opt import optimize
+
+    src = PROGRAMS["control-flow"]
+    mod = compile_source(src)
+    optimize(mod, 3)
+    expected = run(mod)
+    reparsed, _ = roundtrip(mod)
+    assert run(reparsed) == expected
+
+
+def test_phi_forward_references():
+    text = """
+define i64 @f(i64 %n) {
+entry:
+  br %loop
+loop:
+  %i = phi i64 [0, %entry], [%next, %loop]
+  %next = add i64 %i, 1
+  %done = icmp sge i64 %next, %n
+  br i1 %done, %exit, %loop
+exit:
+  ret i64 %i
+}
+"""
+    mod = parse_module(text)
+    verify_module(mod)
+    vm = VirtualMachine(mod, install_default_libc=False)
+    vm.load_globals()
+    assert vm.call_function(mod.get_function("f"), [5]) == 4
+
+
+def test_native_declarations_preserved():
+    mod = compile_source('int main() { print_i64(strlen("abc")); return 0; }')
+    reparsed, _ = roundtrip(mod)
+    strlen_fn = reparsed.get_function("strlen")
+    assert strlen_fn.native
+    assert "readonly" in strlen_fn.attributes
+    assert run(reparsed) == (0, ["3"])
+
+
+def test_nosize_global_flag_preserved():
+    from repro.ir import Module, ArrayType, I32
+
+    mod = Module("t")
+    mod.add_global("ext", ArrayType(I32, 0), None, "external",
+                   declared_without_size=True)
+    text = format_module(mod)
+    reparsed = parse_module(text)
+    gv = reparsed.get_global("ext")
+    assert gv.declared_without_size
+    assert gv.is_declaration
+
+
+def test_parse_errors():
+    with pytest.raises(CompileError, match="unknown IR opcode"):
+        parse_module("define i32 @f() {\nentry:\n  frobnicate\n}\n")
+    with pytest.raises(CompileError, match="undefined global"):
+        parse_module("define i32 @f() {\nentry:\n  %r = call i32 @nope()\n  ret i32 %r\n}\n")
+    with pytest.raises(CompileError, match="undefined block"):
+        parse_module("define i32 @f() {\nentry:\n  br %nowhere\n}\n")
+    with pytest.raises(CompileError, match="cannot tokenize"):
+        parse_module("define i32 @f() {\nentry:\n  ret i32 `\n}\n")

@@ -1,0 +1,161 @@
+"""Tests for the IR type system and data layout."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ir import (
+    ArrayType,
+    F32,
+    F64,
+    FunctionType,
+    I1,
+    I16,
+    I32,
+    I64,
+    I8,
+    IntType,
+    PointerType,
+    StructType,
+    VOID,
+    align_of,
+    ptr,
+    size_of,
+    struct_field_offset,
+)
+
+
+class TestTypeEquality:
+    def test_int_types_compare_by_width(self):
+        assert IntType(32) == IntType(32)
+        assert IntType(32) != IntType(64)
+
+    def test_int_types_hash_by_width(self):
+        assert hash(IntType(8)) == hash(IntType(8))
+        assert len({IntType(8), IntType(8), IntType(16)}) == 2
+
+    def test_pointer_types_compare_structurally(self):
+        assert ptr(I32) == ptr(I32)
+        assert ptr(I32) != ptr(I64)
+        assert ptr(ptr(I8)) == ptr(ptr(I8))
+
+    def test_array_types(self):
+        assert ArrayType(I32, 4) == ArrayType(I32, 4)
+        assert ArrayType(I32, 4) != ArrayType(I32, 5)
+        assert ArrayType(I32, 4) != ArrayType(I64, 4)
+
+    def test_named_structs_compare_by_name(self):
+        a = StructType("node", [I32])
+        b = StructType("node", [I64, I64])  # same name wins
+        assert a == b
+
+    def test_literal_structs_compare_structurally(self):
+        assert StructType(None, [I32, I64]) == StructType(None, [I32, I64])
+        assert StructType(None, [I32]) != StructType(None, [I64])
+
+    def test_function_types(self):
+        a = FunctionType(I32, [I64, ptr(I8)])
+        b = FunctionType(I32, [I64, ptr(I8)])
+        assert a == b
+        assert a != FunctionType(I32, [I64])
+        assert a != FunctionType(I32, [I64, ptr(I8)], vararg=True)
+
+    def test_void_pointer_rejected(self):
+        with pytest.raises(ValueError):
+            PointerType(VOID)
+
+
+class TestClassification:
+    def test_predicates(self):
+        assert I32.is_int() and not I32.is_float()
+        assert F64.is_float() and not F64.is_pointer()
+        assert ptr(I8).is_pointer()
+        assert ArrayType(I8, 3).is_aggregate()
+        assert StructType("s", [I8]).is_aggregate()
+        assert VOID.is_void() and not VOID.is_first_class()
+        assert I1.is_first_class()
+
+    def test_int_mask_and_range(self):
+        assert I8.mask == 0xFF
+        assert I8.min_signed == -128
+        assert I8.max_signed == 127
+
+
+class TestLayout:
+    def test_scalar_sizes(self):
+        assert size_of(I1) == 1
+        assert size_of(I8) == 1
+        assert size_of(I16) == 2
+        assert size_of(I32) == 4
+        assert size_of(I64) == 8
+        assert size_of(F32) == 4
+        assert size_of(F64) == 8
+        assert size_of(ptr(I8)) == 8
+
+    def test_array_size(self):
+        assert size_of(ArrayType(I32, 10)) == 40
+        assert size_of(ArrayType(ArrayType(I8, 3), 4)) == 12
+        assert size_of(ArrayType(I64, 0)) == 0
+
+    def test_struct_padding(self):
+        # {i8, i64} pads the first member to 8-byte alignment.
+        s = StructType("padded", [I8, I64])
+        assert size_of(s) == 16
+        assert struct_field_offset(s, 0) == 0
+        assert struct_field_offset(s, 1) == 8
+
+    def test_struct_tail_padding(self):
+        # {i64, i8} pads the tail so arrays stay aligned.
+        s = StructType("tail", [I64, I8])
+        assert size_of(s) == 16
+
+    def test_struct_mixed_offsets(self):
+        s = StructType("mix", [I32, I8, I16, I64])
+        assert struct_field_offset(s, 0) == 0
+        assert struct_field_offset(s, 1) == 4
+        assert struct_field_offset(s, 2) == 6
+        assert struct_field_offset(s, 3) == 8
+        assert size_of(s) == 16
+
+    def test_empty_struct(self):
+        assert size_of(StructType("empty", [])) == 0
+        assert align_of(StructType("empty", [])) == 1
+
+    def test_alignments(self):
+        assert align_of(I8) == 1
+        assert align_of(I16) == 2
+        assert align_of(I32) == 4
+        assert align_of(I64) == 8
+        assert align_of(ptr(I64)) == 8
+        assert align_of(ArrayType(I16, 7)) == 2
+
+    def test_field_offset_out_of_range(self):
+        with pytest.raises(IndexError):
+            struct_field_offset(StructType("s", [I32]), 1)
+
+
+_scalar_types = st.sampled_from([I1, I8, I16, I32, I64, F32, F64, ptr(I8), ptr(I64)])
+
+
+class TestLayoutProperties:
+    @given(st.lists(_scalar_types, min_size=1, max_size=8))
+    def test_struct_fields_do_not_overlap(self, fields):
+        s = StructType(None, fields)
+        offsets = [struct_field_offset(s, i) for i in range(len(fields))]
+        for i in range(len(fields) - 1):
+            assert offsets[i] + size_of(fields[i]) <= offsets[i + 1]
+
+    @given(st.lists(_scalar_types, min_size=1, max_size=8))
+    def test_struct_size_covers_all_fields(self, fields):
+        s = StructType(None, fields)
+        last = struct_field_offset(s, len(fields) - 1) + size_of(fields[-1])
+        assert size_of(s) >= last
+
+    @given(st.lists(_scalar_types, min_size=1, max_size=8))
+    def test_fields_are_aligned(self, fields):
+        s = StructType(None, fields)
+        for i, field in enumerate(fields):
+            assert struct_field_offset(s, i) % align_of(field) == 0
+
+    @given(_scalar_types, st.integers(min_value=0, max_value=100))
+    def test_array_size_is_linear(self, elem, count):
+        assert size_of(ArrayType(elem, count)) == count * size_of(elem)

@@ -1,0 +1,126 @@
+"""Tests for values, constants, and use-def chains."""
+
+import pytest
+
+from repro.ir import (
+    ArrayType,
+    ConstantArray,
+    ConstantFloat,
+    ConstantInt,
+    ConstantNull,
+    ConstantString,
+    ConstantStruct,
+    F64,
+    FunctionType,
+    I16,
+    I32,
+    I64,
+    I8,
+    IRBuilder,
+    Module,
+    StructType,
+    UndefValue,
+    ptr,
+)
+
+
+def _make_function(ret=I32, params=()):
+    mod = Module("t")
+    fn = mod.add_function("f", FunctionType(ret, list(params)))
+    block = fn.add_block("entry")
+    return mod, fn, IRBuilder(block)
+
+
+class TestConstants:
+    def test_int_canonical_unsigned(self):
+        c = ConstantInt(I8, -1)
+        assert c.value == 255
+        assert c.signed_value == -1
+
+    def test_int_wraps_to_width(self):
+        assert ConstantInt(I8, 256).value == 0
+        assert ConstantInt(I16, 0x1FFFF).value == 0xFFFF
+
+    def test_is_zero(self):
+        assert ConstantInt(I32, 0).is_zero()
+        assert not ConstantInt(I32, 1).is_zero()
+
+    def test_float(self):
+        assert ConstantFloat(F64, 1.5).value == 1.5
+
+    def test_null_typed(self):
+        null = ConstantNull(ptr(I32))
+        assert null.type == ptr(I32)
+
+    def test_string_nul_terminated(self):
+        s = ConstantString(b"hi")
+        assert s.data == b"hi\x00"
+        assert s.type == ArrayType(I8, 3)
+
+    def test_array_length_checked(self):
+        with pytest.raises(ValueError):
+            ConstantArray(ArrayType(I32, 2), [ConstantInt(I32, 1)])
+
+    def test_struct_field_count_checked(self):
+        sty = StructType("s", [I32, I64])
+        with pytest.raises(ValueError):
+            ConstantStruct(sty, [ConstantInt(I32, 1)])
+
+    def test_undef(self):
+        u = UndefValue(I64)
+        assert u.type == I64
+
+
+class TestUseDef:
+    def test_uses_tracked(self):
+        _, fn, b = _make_function(I32, [I32])
+        arg = fn.args[0]
+        add = b.add(arg, b.const_i32(1))
+        assert arg.num_uses == 1
+        assert add in list(arg.users())
+
+    def test_same_value_multiple_slots(self):
+        _, fn, b = _make_function(I32, [I32])
+        arg = fn.args[0]
+        add = b.add(arg, arg)
+        assert arg.num_uses == 2
+        assert len(list(arg.users())) == 1  # deduplicated
+
+    def test_replace_all_uses_with(self):
+        _, fn, b = _make_function(I32, [I32])
+        arg = fn.args[0]
+        one = b.const_i32(1)
+        add = b.add(arg, one)
+        mul = b.mul(add, add)
+        replacement = b.const_i32(7)
+        add.replace_all_uses_with(replacement)
+        assert add.num_uses == 0
+        assert mul.operand(0) is replacement
+        assert mul.operand(1) is replacement
+
+    def test_rauw_self_is_noop(self):
+        _, fn, b = _make_function(I32, [I32])
+        add = b.add(fn.args[0], b.const_i32(1))
+        b.mul(add, add)
+        add.replace_all_uses_with(add)
+        assert add.num_uses == 2
+
+    def test_erase_drops_operand_uses(self):
+        _, fn, b = _make_function(I32, [I32])
+        arg = fn.args[0]
+        add = b.add(arg, b.const_i32(1))
+        assert arg.num_uses == 1
+        add.erase_from_parent()
+        assert arg.num_uses == 0
+        assert add.parent is None
+
+    def test_set_operand_moves_use(self):
+        _, fn, b = _make_function(I32, [I32])
+        arg = fn.args[0]
+        one = b.const_i32(1)
+        two = b.const_i32(2)
+        add = b.add(arg, one)
+        add.set_operand(1, two)
+        assert one.num_uses == 0
+        assert two.num_uses == 1
+        assert add.operand(1) is two

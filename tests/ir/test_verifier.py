@@ -1,0 +1,147 @@
+"""Tests for the IR verifier: each structural invariant is enforced."""
+
+import pytest
+
+from repro.ir import (
+    Br,
+    ConstantInt,
+    FunctionType,
+    I32,
+    I64,
+    IRBuilder,
+    Module,
+    Phi,
+    Ret,
+    Store,
+    VerificationError,
+    verify_module,
+    ptr,
+)
+
+
+def _fn(ret=I32, params=()):
+    mod = Module("t")
+    fn = mod.add_function("f", FunctionType(ret, list(params)))
+    return mod, fn
+
+
+class TestStructure:
+    def test_valid_module_passes(self):
+        mod, fn = _fn()
+        b = IRBuilder(fn.add_block("entry"))
+        b.ret(b.const_i32(0))
+        verify_module(mod)
+
+    def test_missing_terminator(self):
+        mod, fn = _fn()
+        b = IRBuilder(fn.add_block("entry"))
+        b.add(b.const_i32(1), b.const_i32(2))
+        with pytest.raises(VerificationError, match="terminator"):
+            verify_module(mod)
+
+    def test_empty_block(self):
+        mod, fn = _fn()
+        b = IRBuilder(fn.add_block("entry"))
+        b.ret(b.const_i32(0))
+        fn.add_block("empty")
+        with pytest.raises(VerificationError, match="empty"):
+            verify_module(mod)
+
+    def test_function_without_blocks_ok_as_declaration(self):
+        mod, fn = _fn()
+        # no blocks: declaration, skipped
+        verify_module(mod)
+
+    def test_return_type_mismatch(self):
+        mod, fn = _fn(ret=I32)
+        b = IRBuilder(fn.add_block("entry"))
+        b.ret(b.const_i64(0))
+        with pytest.raises(VerificationError, match="return type"):
+            verify_module(mod)
+
+    def test_ret_void_in_value_function(self):
+        mod, fn = _fn(ret=I32)
+        b = IRBuilder(fn.add_block("entry"))
+        b.ret()
+        with pytest.raises(VerificationError, match="ret void"):
+            verify_module(mod)
+
+
+class TestPhis:
+    def test_phi_missing_incoming(self):
+        mod, fn = _fn()
+        entry = fn.add_block("entry")
+        other = fn.add_block("other")
+        merge = fn.add_block("merge")
+        b = IRBuilder(entry)
+        cond = b.icmp("eq", b.const_i32(0), b.const_i32(0))
+        b.cond_br(cond, other, merge)
+        b.position_at_end(other)
+        b.br(merge)
+        b.position_at_end(merge)
+        phi = b.phi(I32)
+        phi.add_incoming(b.const_i32(1), entry)  # missing edge from other
+        b.ret(phi)
+        with pytest.raises(VerificationError, match="missing incoming"):
+            verify_module(mod)
+
+    def test_phi_stale_incoming(self):
+        mod, fn = _fn()
+        entry = fn.add_block("entry")
+        stale = fn.add_block("stale")
+        merge = fn.add_block("merge")
+        b = IRBuilder(entry)
+        b.br(merge)
+        b.position_at_end(stale)
+        b.br(merge)
+        b.position_at_end(merge)
+        phi = b.phi(I32)
+        phi.add_incoming(b.const_i32(1), entry)
+        phi.add_incoming(b.const_i32(2), stale)
+        b.ret(phi)
+        # make `stale` unreachable-but-present is fine; remove its edge
+        stale.instructions[0].erase_from_parent()
+        from repro.ir import Unreachable
+
+        stale.append(Unreachable())
+        with pytest.raises(VerificationError, match="stale incoming"):
+            verify_module(mod)
+
+
+class TestDominance:
+    def test_use_before_def_across_blocks(self):
+        mod, fn = _fn()
+        entry = fn.add_block("entry")
+        late = fn.add_block("late")
+        b = IRBuilder(entry)
+        cond = b.icmp("eq", b.const_i32(0), b.const_i32(0))
+        exit_block = fn.add_block("exit")
+        b.cond_br(cond, late, exit_block)
+        b.position_at_end(late)
+        value = b.add(b.const_i32(1), b.const_i32(2))
+        b.br(exit_block)
+        b.position_at_end(exit_block)
+        b.ret(value)  # not dominated: entry->exit path skips `late`
+        with pytest.raises(VerificationError, match="not dominated"):
+            verify_module(mod)
+
+    def test_use_of_erased_instruction(self):
+        mod, fn = _fn()
+        b = IRBuilder(fn.add_block("entry"))
+        v = b.add(b.const_i32(1), b.const_i32(2))
+        b.ret(v)
+        fn.entry.remove_instruction(v)  # bypass erase_from_parent
+        with pytest.raises(VerificationError, match="erased"):
+            verify_module(mod)
+
+    def test_call_signature_mismatch(self):
+        mod, fn = _fn()
+        callee = mod.add_function("callee", FunctionType(I32, [I64]))
+        b = IRBuilder(fn.add_block("entry"))
+        from repro.ir import Call
+
+        call = Call(callee, [ConstantInt(I32, 1)])
+        b.insert(call)
+        b.ret(b.const_i32(0))
+        with pytest.raises(VerificationError, match="argument type"):
+            verify_module(mod)

@@ -1,0 +1,134 @@
+"""Tests for the low-fat allocator."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import MemoryFault
+from repro.lowfat import LowFatAllocator, layout
+from repro.vm.memory import Memory, StandardAllocator
+from repro.vm.stats import RuntimeStats
+
+
+def _make(region_capacity=None):
+    mem = Memory()
+    stats = RuntimeStats()
+    alloc = LowFatAllocator(mem, StandardAllocator(mem), stats, region_capacity)
+    return mem, stats, alloc
+
+
+class TestHeap:
+    def test_allocation_lands_in_matching_region(self):
+        _, _, lf = _make()
+        a = lf.malloc(100)  # 100+1 -> 128-byte class
+        assert layout.is_lowfat(a.base)
+        assert layout.size_of_pointer(a.base) == 128
+        assert a.size == 128               # padded allocation
+        assert a.requested_size == 100
+
+    def test_base_alignment(self):
+        _, _, lf = _make()
+        for requested in (1, 16, 100, 5000):
+            a = lf.malloc(requested)
+            size = layout.size_of_pointer(a.base)
+            assert a.base % size == 0      # base recoverable by masking
+
+    def test_base_recovery_from_interior_pointer(self):
+        _, _, lf = _make()
+        a = lf.malloc(40)                  # 64-byte class
+        interior = a.base + 33
+        assert layout.base_of(interior) == a.base
+
+    def test_oversized_falls_back(self):
+        _, stats, lf = _make()
+        a = lf.malloc(1 << 30)
+        assert not layout.is_lowfat(a.base)
+        assert stats.lowfat_fallback_allocs == 1
+
+    def test_region_exhaustion_falls_back(self):
+        _, stats, lf = _make(region_capacity=64)
+        first = lf.malloc(40)              # fills the 64B region
+        assert layout.is_lowfat(first.base)
+        second = lf.malloc(40)             # region full -> standard heap
+        assert not layout.is_lowfat(second.base)
+        assert stats.lowfat_fallback_allocs == 1
+
+    def test_padding_is_accessible(self):
+        """OOB into the class padding silently succeeds -- the behaviour
+        that hides small overflows from Low-Fat (paper Section 4)."""
+        mem, _, lf = _make()
+        a = lf.malloc(40)                  # padded to 64
+        mem.write_int(a.base + 45, 7, 4)   # beyond request, inside pad
+        assert mem.read_int(a.base + 45, 4) == 7
+        with pytest.raises(MemoryFault):
+            mem.read_int(a.base + 64, 4)   # beyond the class slot
+
+    def test_free_and_uaf(self):
+        mem, _, lf = _make()
+        a = lf.malloc(24)
+        lf.free(a.base)
+        with pytest.raises(MemoryFault):
+            mem.read_int(a.base, 4)
+
+    def test_free_of_fallback_pointer_routed_to_standard(self):
+        mem, _, lf = _make()
+        a = lf.malloc(1 << 30)
+        lf.free(a.base)                    # must not crash
+        with pytest.raises(MemoryFault):
+            mem.read_int(a.base, 4)
+
+    def test_free_interior_pointer_rejected(self):
+        _, _, lf = _make()
+        a = lf.malloc(24)
+        with pytest.raises(MemoryFault):
+            lf.free(a.base + 8)
+
+
+class TestStackDiscipline:
+    def test_stack_slots_reused(self):
+        mem, _, lf = _make()
+        a = lf.stack_alloc(24)
+        base = a.base
+        lf.stack_release(a)
+        b = lf.stack_alloc(24)
+        assert b.base == base              # LIFO reuse
+
+    def test_released_slot_faults(self):
+        mem, _, lf = _make()
+        a = lf.stack_alloc(24)
+        lf.stack_release(a)
+        with pytest.raises(MemoryFault):
+            mem.read_int(a.base, 4)
+
+    def test_different_classes_different_freelists(self):
+        _, _, lf = _make()
+        small = lf.stack_alloc(8)
+        big = lf.stack_alloc(100)
+        lf.stack_release(small)
+        lf.stack_release(big)
+        again_big = lf.stack_alloc(100)
+        assert again_big.base == big.base
+
+
+class TestGlobals:
+    def test_global_placement(self):
+        _, _, lf = _make()
+        a = lf.place_global(48, "g")
+        assert layout.is_lowfat(a.base)
+        assert layout.size_of_pointer(a.base) == 64
+
+    def test_oversized_global_returns_none(self):
+        _, _, lf = _make()
+        assert lf.place_global(1 << 31, "huge") is None
+
+
+class TestAllocatorProperties:
+    @given(st.lists(st.integers(1, 4096), min_size=1, max_size=30))
+    def test_allocations_disjoint_and_recoverable(self, sizes):
+        mem, _, lf = _make()
+        allocs = [lf.malloc(s) for s in sizes]
+        seen = set()
+        for a, s in zip(allocs, sizes):
+            assert a.base not in seen
+            seen.add(a.base)
+            assert layout.base_of(a.base + s - 1) == a.base
+            assert layout.size_of_pointer(a.base) >= s + 1

@@ -1,0 +1,83 @@
+"""Tests for the Low-Fat address-space layout arithmetic (Figures 3/4)."""
+
+from hypothesis import given, strategies as st
+
+from repro.lowfat import layout
+
+
+class TestRegionArithmetic:
+    def test_region_bounds(self):
+        assert layout.NUM_REGIONS == 27
+        assert layout.allocation_size(1) == 16
+        assert layout.allocation_size(27) == 1 << 30
+        assert layout.allocation_size(0) == 0
+        assert layout.allocation_size(28) == 0
+
+    def test_region_index(self):
+        assert layout.region_index(layout.region_base(1)) == 1
+        assert layout.region_index(layout.region_base(27) + 12345) == 27
+        assert layout.region_index(0x1000) == 0
+        assert not layout.is_lowfat(0x1000)
+        assert layout.is_lowfat(layout.region_base(5) + 100)
+        assert not layout.is_lowfat(layout.LOWFAT_END + 5)
+
+    def test_size_class_padding(self):
+        # +1 byte pad for one-past-the-end pointers (paper footnote 3)
+        assert layout.size_class_for(15) == 1     # 15+1 = 16 -> 16B class
+        assert layout.size_class_for(16) == 2     # 16+1 = 17 -> 32B class
+        assert layout.size_class_for(1) == 1
+        assert layout.size_class_for(0) == 1
+        assert layout.size_class_for((1 << 30) - 1) == 27
+
+    def test_one_gib_overflows(self):
+        # exactly 1 GiB exceeds the largest class: 429mcf's fallback
+        assert layout.size_class_for(1 << 30) == 0
+        assert layout.size_class_for((1 << 30) + 5) == 0
+
+    def test_base_recovery(self):
+        region = 3  # 64-byte objects
+        base = layout.region_base(region) + 5 * 64
+        for offset in (0, 1, 63):
+            assert layout.base_of(base + offset) == base
+        assert layout.base_of(0x5000) == layout.NO_BASE  # non-low-fat
+
+    def test_size_recovery(self):
+        address = layout.region_base(7) + 999
+        assert layout.size_of_pointer(address) == layout.allocation_size(7)
+        assert layout.size_of_pointer(0x100) == 0
+
+
+class TestLayoutProperties:
+    @given(st.integers(0, (1 << 30) - 1))
+    def test_class_fits_request_plus_pad(self, requested):
+        region = layout.size_class_for(requested)
+        assert region != 0
+        assert layout.allocation_size(region) >= requested + 1
+
+    @given(st.integers(0, (1 << 30) - 1))
+    def test_class_is_tight(self, requested):
+        region = layout.size_class_for(requested)
+        size = layout.allocation_size(region)
+        # the next smaller class would not fit (or this is the smallest)
+        assert size == 16 or size // 2 < requested + 1
+
+    @given(st.integers(1, 27), st.integers(0, (1 << 32) - 1))
+    def test_base_recovery_roundtrip(self, region, offset_in_region):
+        size = layout.allocation_size(region)
+        region_start = layout.region_base(region)
+        address = region_start + offset_in_region
+        base = layout.base_of(address)
+        # recovered base is size-aligned, within the region, at or
+        # before the address, and within one object of it
+        assert base % size == 0
+        assert base <= address < base + size
+        assert layout.region_index(base) == region
+
+    @given(st.integers(1, 27), st.integers(0, 1 << 20))
+    def test_pointer_in_object_recovers_its_base(self, region, obj_index):
+        size = layout.allocation_size(region)
+        # objects must fit inside the region's address span
+        objects_in_region = max(layout.REGION_SIZE // size, 1)
+        base = layout.region_base(region) + (obj_index % objects_in_region) * size
+        for offset in (0, size // 2, size - 1):
+            assert layout.base_of(base + offset) == base

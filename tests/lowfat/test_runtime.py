@@ -1,0 +1,160 @@
+"""Tests for the Low-Fat runtime natives on the VM."""
+
+import pytest
+
+from repro import CompileOptions, compile_program, run_program
+from repro.core import InstrumentationConfig
+from repro.lowfat import layout
+
+LF = InstrumentationConfig.lowfat()
+OPTS = CompileOptions(verify=True)
+
+
+def run_lf(src, **kw):
+    return run_program(compile_program(src, LF, OPTS),
+                       max_instructions=2_000_000, **kw)
+
+
+class TestAllocatorNatives:
+    def test_heap_pointers_are_lowfat(self):
+        result = run_lf(r"""
+        int main() {
+            char *a = (char *) malloc(40);
+            long addr = (long) a;
+            print_i64(addr >> 32);     // region index
+            free((void*)a);
+            return 0;
+        }""")
+        assert result.ok
+        region = int(result.output[0])
+        # 40+1 bytes -> 64-byte class -> region index for size 64
+        assert layout.allocation_size(region) == 64
+
+    def test_globals_mirrored_into_regions(self):
+        result = run_lf(r"""
+        int g_table[10];
+        int main() {
+            long addr = (long) &g_table[0];
+            print_i64(addr >> 32);
+            return 0;
+        }""")
+        region = int(result.output[0])
+        assert 1 <= region <= layout.NUM_REGIONS
+
+    def test_stack_allocations_in_regions(self):
+        result = run_lf(r"""
+        int peek(int *arr) { return arr[0]; }
+        int main() {
+            int local[4];
+            local[0] = 3;
+            long addr = (long) &local[0];
+            print_i64(addr >> 32);
+            print_i64(peek(local));
+            return 0;
+        }""")
+        region = int(result.output[0])
+        assert 1 <= region <= layout.NUM_REGIONS
+        assert result.output[1] == "3"
+
+    def test_stack_released_on_return(self):
+        # A function that allocas repeatedly must reuse its region slot
+        # (otherwise the region would leak one slot per call).
+        result = run_lf(r"""
+        long fill(int seed) {
+            int buf[16];
+            for (int i = 0; i < 16; i++) buf[i] = seed + i;
+            return buf[15];
+        }
+        int main() {
+            long s = 0;
+            for (int i = 0; i < 200; i++) s += fill(i);
+            print_i64(s);
+            return 0;
+        }""")
+        assert result.ok
+        assert result.output == [str(sum(i + 15 for i in range(200)))]
+
+    def test_calloc_realloc(self):
+        result = run_lf(r"""
+        int main() {
+            int *a = (int *) calloc(4, sizeof(int));
+            print_i64(a[0] + a[3]);
+            a = (int *) realloc((void*)a, sizeof(int) * 64);
+            a[63] = 5;
+            print_i64(a[63]);
+            free((void*)a);
+            return 0;
+        }""")
+        assert result.ok and result.output == ["0", "5"]
+
+    def test_region_exhaustion_goes_wide(self):
+        program = compile_program(r"""
+        int main() {
+            char *a = (char *) malloc(40);
+            char *b = (char *) malloc(40);
+            a[0] = 1; b[0] = 2;
+            print_i64(a[0] + b[0]);
+            return 0;
+        }""", LF, OPTS)
+        # only one 64-byte slot available: the second malloc falls back
+        result = run_program(program, max_instructions=1_000_000,
+                             lf_region_capacity=64)
+        assert result.ok
+        assert result.stats.lowfat_fallback_allocs >= 1
+        assert result.stats.checks_wide > 0
+
+
+class TestCheckSemantics:
+    def test_one_past_end_pointer_allowed_by_invariant(self):
+        result = run_lf(r"""
+        long scan(int *p, int *end) {
+            long s = 0;
+            while (p != end) { s += *p; p++; }
+            return s;
+        }
+        int main() {
+            int *a = (int *) malloc(sizeof(int) * 8);
+            for (int i = 0; i < 8; i++) a[i] = i;
+            print_i64(scan(a, a + 8));   // one-past-end escapes: legal
+            free((void*)a);
+            return 0;
+        }""")
+        assert result.ok
+        assert result.output == ["28"]
+
+    def test_two_past_end_escape_rejected(self):
+        result = run_lf(r"""
+        long use(int *p) { return (long) p; }
+        int main() {
+            int *a = (int *) malloc(sizeof(int) * 120);  // fills a class
+            long x = use(a + 200);       // far out of bounds
+            print_i64(x & 1);
+            free((void*)a);
+            return 0;
+        }""")
+        assert result.violation is not None
+        assert result.violation.kind == "invariant"
+
+    def test_null_pointer_access_unchecked_but_faults(self):
+        result = run_lf(r"""
+        int main() {
+            int *p = NULL;
+            return *p;
+        }""")
+        # NULL is not low-fat: the check goes wide, the hardware traps
+        assert result.fault is not None
+
+    def test_interior_pointer_base_recovery(self):
+        result = run_lf(r"""
+        int sum3(char *mid) {
+            return mid[-1] + mid[0] + mid[1];
+        }
+        int main() {
+            char *a = (char *) malloc(16);
+            for (int i = 0; i < 16; i++) a[i] = (char)i;
+            print_i64(sum3(a + 8));
+            free((void*)a);
+            return 0;
+        }""")
+        assert result.ok
+        assert result.output == ["24"]

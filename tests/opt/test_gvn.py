@@ -1,0 +1,230 @@
+"""Tests for GVN: CSE, load elimination, check deduplication."""
+
+from repro.core import InstrumentationConfig, instrument_module
+from repro.frontend import compile_source
+from repro.ir import (
+    BinOp,
+    Call,
+    FunctionType,
+    I64,
+    IRBuilder,
+    Load,
+    Module,
+    VOID,
+    ptr,
+    verify_module,
+)
+from repro.opt import DCE, GVN, Mem2Reg, SimplifyCFG
+from repro.vm import VirtualMachine
+
+
+def _fresh(params=(I64, I64)):
+    mod = Module("t")
+    fn = mod.add_function("f", FunctionType(I64, list(params)))
+    b = IRBuilder(fn.add_block("entry"))
+    return mod, fn, b
+
+
+class TestPureCSE:
+    def test_identical_binops_merged(self):
+        mod, fn, b = _fresh()
+        x, y = fn.args
+        a1 = b.add(x, y)
+        a2 = b.add(x, y)
+        b.ret(b.mul(a1, a2))
+        GVN().run(mod)
+        adds = [i for i in fn.entry.instructions if isinstance(i, BinOp)
+                and i.opcode == "add"]
+        assert len(adds) == 1
+
+    def test_commutative_operands_normalized(self):
+        mod, fn, b = _fresh()
+        x, y = fn.args
+        a1 = b.add(x, y)
+        a2 = b.add(y, x)
+        b.ret(b.mul(a1, a2))
+        GVN().run(mod)
+        adds = [i for i in fn.entry.instructions if isinstance(i, BinOp)
+                and i.opcode == "add"]
+        assert len(adds) == 1
+
+    def test_noncommutative_not_swapped(self):
+        mod, fn, b = _fresh()
+        x, y = fn.args
+        s1 = b.sub(x, y)
+        s2 = b.sub(y, x)
+        b.ret(b.mul(s1, s2))
+        GVN().run(mod)
+        subs = [i for i in fn.entry.instructions if isinstance(i, BinOp)]
+        assert len([s for s in subs if s.opcode == "sub"]) == 2
+
+    def test_dominating_expression_reused_across_blocks(self):
+        mod, fn, b = _fresh()
+        x, y = fn.args
+        then = fn.add_block("then")
+        a1 = b.add(x, y)
+        cond = b.icmp("sgt", a1, b.const_i64(0))
+        done = fn.add_block("done")
+        b.cond_br(cond, then, done)
+        b.position_at_end(then)
+        a2 = b.add(x, y)  # dominated duplicate
+        b.ret(a2)
+        b.position_at_end(done)
+        b.ret(b.const_i64(0))
+        GVN().run(mod)
+        then_adds = [i for i in then.instructions if isinstance(i, BinOp)]
+        assert not then_adds
+
+    def test_sibling_blocks_not_merged(self):
+        mod, fn, b = _fresh()
+        x, y = fn.args
+        left = fn.add_block("left")
+        right = fn.add_block("right")
+        cond = b.icmp("sgt", x, b.const_i64(0))
+        b.cond_br(cond, left, right)
+        b.position_at_end(left)
+        b.ret(b.add(x, y))
+        b.position_at_end(right)
+        b.ret(b.add(x, y))  # no dominance: must survive
+        GVN().run(mod)
+        assert any(isinstance(i, BinOp) for i in left.instructions)
+        assert any(isinstance(i, BinOp) for i in right.instructions)
+
+
+class TestLoadElimination:
+    def _compile(self, src):
+        mod = compile_source(src)
+        SimplifyCFG().run(mod)
+        Mem2Reg().run(mod)
+        return mod
+
+    def _count_loads(self, mod, name="main"):
+        return sum(1 for i in mod.get_function(name).instructions()
+                   if isinstance(i, Load))
+
+    def test_repeated_load_same_block(self):
+        mod = self._compile(r"""
+        int g;
+        int main() { return g + g; }""")
+        before = self._count_loads(mod)
+        GVN().run(mod)
+        assert self._count_loads(mod) == before - 1
+
+    def test_store_invalidates_load(self):
+        mod = self._compile(r"""
+        int g; int h;
+        int main() {
+            int a = g;
+            h = 1;          // may alias g (conservative)
+            int b = g;
+            return a + b;
+        }""")
+        before = self._count_loads(mod)
+        GVN().run(mod)
+        assert self._count_loads(mod) == before  # no elimination
+
+    def test_store_to_load_forwarding(self):
+        mod = self._compile(r"""
+        int g;
+        int main() { g = 7; return g; }""")
+        GVN().run(mod)
+        assert self._count_loads(mod) == 0
+
+    def test_no_forwarding_across_loop_header(self):
+        # Regression test: memory facts must not flow into join blocks;
+        # the loop back edge carries stores.
+        src = r"""
+        int main() {
+            int *buf = (int *) malloc(sizeof(int) * 8);
+            int i = 0;
+            buf[0] = 0;
+            while (buf[0] < 5) {
+                buf[0] = buf[0] + 1;
+                i = i + 1;
+            }
+            print_i64(i);
+            free((void*)buf);
+            return 0;
+        }"""
+        mod = self._compile(src)
+        GVN().run(mod)
+        verify_module(mod)
+        vm = VirtualMachine(mod, max_instructions=100_000)
+        assert vm.run() == 0
+        assert vm.output == ["5"]
+
+    def test_call_clobbers_memory(self):
+        mod = self._compile(r"""
+        int g;
+        void touch();
+        int main() {
+            int a = g;
+            touch();
+            int b = g;
+            return a + b;
+        }""")
+        before = self._count_loads(mod)
+        GVN().run(mod)
+        assert self._count_loads(mod) == before
+
+
+class TestCheckDeduplication:
+    def _instrumented(self, src, approach="softbound"):
+        mod = compile_source(src)
+        SimplifyCFG().run(mod)
+        Mem2Reg().run(mod)
+        config = (InstrumentationConfig.softbound() if approach == "softbound"
+                  else InstrumentationConfig.lowfat())
+        instrument_module(mod, config)
+        return mod
+
+    def _count_checks(self, mod):
+        count = 0
+        for fn in mod.functions.values():
+            for inst in fn.instructions():
+                if isinstance(inst, Call):
+                    callee = inst.callee_function
+                    if callee is not None and "mi_check" in callee.attributes:
+                        count += 1
+        return count
+
+    def test_same_block_duplicate_checks_removed(self):
+        mod = self._instrumented(r"""
+        int g;
+        int main() { g = 1; g = 2; return 0; }""")
+        before = self._count_checks(mod)
+        GVN().run(mod)
+        after = self._count_checks(mod)
+        assert after < before
+
+    def test_same_block_reread_fully_recovered(self):
+        # Same-block re-read: GVN dedups the identical check first,
+        # after which no barrier separates the loads -- both the
+        # duplicate check and the duplicate load disappear.
+        mod = self._instrumented(r"""
+        int g;
+        int main() { return g + g; }""")
+        GVN().run(mod)
+        verify_module(mod)
+        main = mod.get_function("main")
+        loads = [i for i in main.instructions() if isinstance(i, Load)]
+        assert len(loads) == 1
+        assert self._count_checks(mod) >= 1
+
+    def test_surviving_check_blocks_load_cse(self):
+        # A check that survives (different access width -> different
+        # args) is an opaque call: the second load must not be merged
+        # across it.
+        mod = self._instrumented(r"""
+        long g;
+        int main() {
+            int lo = *(int *)&g;     // 4-byte access
+            long full = g;           // 8-byte access: different check
+            return lo + (int)full;
+        }""")
+        GVN().run(mod)
+        verify_module(mod)
+        main = mod.get_function("main")
+        loads = [i for i in main.instructions() if isinstance(i, Load)]
+        assert len(loads) == 2
+        assert self._count_checks(mod) == 2

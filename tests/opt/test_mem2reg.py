@@ -1,0 +1,106 @@
+"""Tests for mem2reg (SSA construction)."""
+
+from repro.frontend import compile_source
+from repro.ir import Alloca, Load, Phi, Store, verify_module
+from repro.opt import Mem2Reg, SimplifyCFG
+from repro.vm import VirtualMachine
+
+
+def promote(src):
+    mod = compile_source(src)
+    SimplifyCFG().run(mod)
+    Mem2Reg().run(mod)
+    verify_module(mod)
+    return mod
+
+
+def run(mod):
+    vm = VirtualMachine(mod, max_instructions=2_000_000)
+    return vm.run(), vm.output
+
+
+class TestPromotion:
+    def test_scalars_promoted(self):
+        mod = promote(r"""
+        int main() {
+            int a = 1;
+            int b = a + 2;
+            return b;
+        }""")
+        main = mod.get_function("main")
+        assert not any(isinstance(i, Alloca) for i in main.instructions())
+        assert not any(isinstance(i, Load) for i in main.instructions())
+
+    def test_address_taken_not_promoted(self):
+        mod = promote(r"""
+        void set(int *p) { *p = 7; }
+        int main() {
+            int a = 1;
+            set(&a);
+            return a;
+        }""")
+        main = mod.get_function("main")
+        assert any(isinstance(i, Alloca) for i in main.instructions())
+        assert run(mod)[0] == 7
+
+    def test_arrays_not_promoted(self):
+        mod = promote(r"""
+        int main() {
+            int a[4];
+            a[0] = 3;
+            return a[0];
+        }""")
+        main = mod.get_function("main")
+        assert any(isinstance(i, Alloca) for i in main.instructions())
+
+    def test_phi_placement_at_join(self):
+        mod = promote(r"""
+        int main() {
+            int x = 0;
+            int c = 1;
+            if (c) x = 1; else x = 2;
+            return x;
+        }""")
+        main = mod.get_function("main")
+        phis = [i for i in main.instructions() if isinstance(i, Phi)]
+        assert len(phis) >= 1
+        assert run(mod)[0] == 1
+
+    def test_loop_variable_phi(self):
+        mod = promote(r"""
+        int main() {
+            long s = 0;
+            for (int i = 0; i < 10; i++) s += i;
+            print_i64(s);
+            return 0;
+        }""")
+        assert run(mod)[1] == ["45"]
+        main = mod.get_function("main")
+        assert not any(isinstance(i, Alloca) for i in main.instructions())
+
+    def test_read_before_write_gets_undef(self):
+        # Valid IR even when a path reads uninitialized locals.
+        mod = promote(r"""
+        int main() {
+            int x;
+            int c = 0;
+            if (c) x = 1;
+            return c;
+        }""")
+        assert run(mod)[0] == 0
+
+    def test_semantics_preserved_complex(self):
+        src = r"""
+        int collatz(int n) {
+            int steps = 0;
+            while (n != 1) {
+                if (n % 2 == 0) n = n / 2;
+                else n = 3 * n + 1;
+                steps++;
+            }
+            return steps;
+        }
+        int main() { print_i64(collatz(27)); return 0; }"""
+        mod_plain = compile_source(src)
+        mod_ssa = promote(src)
+        assert run(mod_plain)[1] == run(mod_ssa)[1] == ["111"]

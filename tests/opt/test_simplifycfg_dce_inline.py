@@ -1,0 +1,235 @@
+"""Tests for SimplifyCFG, DCE, and the inliner."""
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.ir import (
+    Br,
+    Call,
+    CondBr,
+    ConstantInt,
+    FunctionType,
+    I1,
+    I32,
+    I64,
+    IRBuilder,
+    Module,
+    verify_module,
+    ptr,
+)
+from repro.opt import DCE, GVN, Inliner, Mem2Reg, SimplifyCFG
+from repro.opt.inline import inline_call
+from repro.vm import VirtualMachine
+
+
+def run(mod, max_instructions=1_000_000, entry="main"):
+    vm = VirtualMachine(mod, max_instructions=max_instructions)
+    return vm.run(entry), vm.output
+
+
+class TestSimplifyCFG:
+    def test_unreachable_blocks_removed(self):
+        mod = Module("t")
+        fn = mod.add_function("f", FunctionType(I32, []))
+        b = IRBuilder(fn.add_block("entry"))
+        b.ret(b.const_i32(1))
+        dead = fn.add_block("dead")
+        b.position_at_end(dead)
+        b.ret(b.const_i32(2))
+        SimplifyCFG().run(mod)
+        assert len(fn.blocks) == 1
+
+    def test_constant_branch_folded(self):
+        mod = Module("t")
+        fn = mod.add_function("f", FunctionType(I32, []))
+        entry = fn.add_block("entry")
+        taken = fn.add_block("taken")
+        untaken = fn.add_block("untaken")
+        b = IRBuilder(entry)
+        b.cond_br(ConstantInt(I1, 1), taken, untaken)
+        b.position_at_end(taken)
+        b.ret(b.const_i32(1))
+        b.position_at_end(untaken)
+        b.ret(b.const_i32(2))
+        SimplifyCFG().run(mod)
+        verify_module(mod)
+        assert untaken not in fn.blocks
+        assert run(mod, entry="f")[0] == 1
+
+    def test_blocks_merged(self):
+        mod = Module("t")
+        fn = mod.add_function("f", FunctionType(I32, []))
+        entry = fn.add_block("entry")
+        tail = fn.add_block("tail")
+        b = IRBuilder(entry)
+        b.br(tail)
+        b.position_at_end(tail)
+        b.ret(b.const_i32(3))
+        SimplifyCFG().run(mod)
+        assert len(fn.blocks) == 1
+        assert run(mod, entry="f")[0] == 3
+
+    def test_trivial_phi_removed(self):
+        src = r"""
+        int main() {
+            int x = 5;
+            int c = 1;
+            if (c) x = 5;   // both arms same value after constprop
+            return x;
+        }"""
+        mod = compile_source(src)
+        SimplifyCFG().run(mod)
+        Mem2Reg().run(mod)
+        SimplifyCFG().run(mod)
+        verify_module(mod)
+        assert run(mod)[0] == 5
+
+
+class TestDCE:
+    def test_unused_pure_removed(self):
+        mod = Module("t")
+        fn = mod.add_function("f", FunctionType(I64, [I64]))
+        b = IRBuilder(fn.add_block("entry"))
+        dead = b.add(fn.args[0], b.const_i64(1))
+        deader = b.mul(dead, dead)   # chain of dead values
+        b.ret(fn.args[0])
+        DCE().run(mod)
+        assert len(fn.entry.instructions) == 1
+
+    def test_stores_kept(self):
+        mod = compile_source("int g; int main() { g = 1; return 0; }")
+        DCE().run(mod)
+        from repro.ir import Store
+
+        assert any(isinstance(i, Store)
+                   for i in mod.get_function("main").instructions())
+
+    def test_unused_readonly_call_removed(self):
+        """The Section 5.4 effect: unused metadata loads disappear."""
+        mod = Module("t")
+        ro = mod.add_function("__sb_trie_load_base", FunctionType(I64, [I64]))
+        ro.attributes.add("readonly")
+        ro.native = True
+        fn = mod.add_function("f", FunctionType(I64, [I64]))
+        b = IRBuilder(fn.add_block("entry"))
+        b.call(ro, [fn.args[0]])     # result unused
+        b.ret(fn.args[0])
+        DCE().run(mod)
+        assert len(fn.entry.instructions) == 1
+
+    def test_may_abort_call_kept(self):
+        mod = Module("t")
+        chk = mod.add_function("__chk", FunctionType(I64, [I64]))
+        chk.attributes.update({"readnone", "may_abort"})
+        chk.native = True
+        fn = mod.add_function("f", FunctionType(I64, [I64]))
+        b = IRBuilder(fn.add_block("entry"))
+        b.call(chk, [fn.args[0]])    # unused result, but may abort
+        b.ret(fn.args[0])
+        DCE().run(mod)
+        assert len(fn.entry.instructions) == 2
+
+
+class TestInliner:
+    def test_simple_inline(self):
+        src = r"""
+        int add3(int a) { return a + 3; }
+        int main() { print_i64(add3(4)); return 0; }"""
+        mod = compile_source(src)
+        SimplifyCFG().run(mod)
+        Mem2Reg().run(mod)
+        Inliner().run(mod)
+        verify_module(mod)
+        main = mod.get_function("main")
+        user_calls = [
+            i for i in main.instructions()
+            if isinstance(i, Call) and i.callee_function is not None
+            and not i.callee_function.native
+        ]
+        assert not user_calls
+        assert run(mod) == (0, ["7"])
+
+    def test_inline_with_control_flow(self):
+        src = r"""
+        int mymax(int a, int b) { if (a > b) return a; return b; }
+        int main() {
+            print_i64(mymax(3, 9));
+            print_i64(mymax(9, 3));
+            return 0;
+        }"""
+        mod = compile_source(src)
+        SimplifyCFG().run(mod)
+        Mem2Reg().run(mod)
+        Inliner().run(mod)
+        verify_module(mod)
+        assert run(mod) == (0, ["9", "9"])
+
+    def test_inline_with_loop_in_callee(self):
+        src = r"""
+        long total(int n) {
+            long s = 0;
+            for (int i = 0; i < n; i++) s += i;
+            return s;
+        }
+        int main() { print_i64(total(10)); return 0; }"""
+        mod = compile_source(src)
+        SimplifyCFG().run(mod)
+        Mem2Reg().run(mod)
+        Inliner().run(mod)
+        verify_module(mod)
+        assert run(mod) == (0, ["45"])
+
+    def test_recursive_not_inlined(self):
+        src = r"""
+        int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+        int main() { print_i64(fib(10)); return 0; }"""
+        mod = compile_source(src)
+        SimplifyCFG().run(mod)
+        Inliner().run(mod)
+        verify_module(mod)
+        assert run(mod) == (0, ["55"])
+
+    def test_large_function_not_inlined(self):
+        lines = "\n".join(f"    x = x + {i};" for i in range(40))
+        src = f"""
+        int big(int x) {{
+        {lines}
+            return x;
+        }}
+        int main() {{ print_i64(big(1)); return 0; }}"""
+        mod = compile_source(src)
+        SimplifyCFG().run(mod)
+        Inliner().run(mod)
+        main = mod.get_function("main")
+        assert any(
+            isinstance(i, Call) and i.callee_function is mod.get_function("big")
+            for i in main.instructions()
+        )
+
+    def test_callee_allocas_hoisted_to_caller_entry(self):
+        src = r"""
+        int helper(int v) { int buf[2]; buf[0] = v; return buf[0]; }
+        int main() { print_i64(helper(6)); return 0; }"""
+        mod = compile_source(src)
+        SimplifyCFG().run(mod)
+        Inliner().run(mod)
+        verify_module(mod)
+        from repro.ir import Alloca
+
+        main = mod.get_function("main")
+        for block in main.blocks:
+            for inst in block.instructions:
+                if isinstance(inst, Alloca):
+                    assert block is main.entry
+        assert run(mod) == (0, ["6"])
+
+    def test_noinline_attribute_respected(self):
+        src = r"""
+        int f(int a) { return a + 1; }
+        int main() { return f(1); }"""
+        mod = compile_source(src)
+        mod.get_function("f").attributes.add("noinline")
+        SimplifyCFG().run(mod)
+        Inliner().run(mod)
+        main = mod.get_function("main")
+        assert any(isinstance(i, Call) for i in main.instructions())

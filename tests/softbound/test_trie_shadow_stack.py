@@ -1,0 +1,132 @@
+"""Tests for SoftBound's metadata trie and shadow stack."""
+
+from hypothesis import given, strategies as st
+
+from repro.softbound import MetadataTrie, ShadowStack, WIDE_BASE, WIDE_BOUND
+
+
+class TestTrie:
+    def test_store_load_roundtrip(self):
+        trie = MetadataTrie()
+        trie.store(0x1000, 0x2000, 0x2040)
+        assert trie.load(0x1000) == (0x2000, 0x2040)
+
+    def test_missing_entry_is_none(self):
+        trie = MetadataTrie()
+        assert trie.load(0x1000) is None
+
+    def test_overwrite(self):
+        trie = MetadataTrie()
+        trie.store(0x1000, 1, 2)
+        trie.store(0x1000, 3, 4)
+        assert trie.load(0x1000) == (3, 4)
+        assert trie.entry_count == 1
+
+    def test_slot_granularity(self):
+        # metadata is tracked per 8-byte-aligned pointer slot
+        trie = MetadataTrie()
+        trie.store(0x1000, 1, 2)
+        assert trie.load(0x1004) == (1, 2)   # same slot
+        assert trie.load(0x1008) is None      # next slot
+
+    def test_entries_in_different_secondary_tables(self):
+        trie = MetadataTrie()
+        far_apart = 1 << 40
+        trie.store(0x1000, 1, 2)
+        trie.store(0x1000 + far_apart, 3, 4)
+        assert trie.load(0x1000) == (1, 2)
+        assert trie.load(0x1000 + far_apart) == (3, 4)
+
+    def test_copy_range_moves_metadata(self):
+        """The memcpy wrapper's copy_metadata (paper Figure 6)."""
+        trie = MetadataTrie()
+        trie.store(0x1000, 11, 22)
+        trie.store(0x1008, 33, 44)
+        copied = trie.copy_range(0x5000, 0x1000, 16)
+        assert copied == 2
+        assert trie.load(0x5000) == (11, 22)
+        assert trie.load(0x5008) == (33, 44)
+
+    def test_copy_range_without_metadata(self):
+        trie = MetadataTrie()
+        assert trie.copy_range(0x5000, 0x1000, 64) == 0
+
+    def test_bytewise_copy_bypasses_trie(self):
+        """The Section 4.5 failure mode: byte-level copies do not move
+        metadata, so the destination slot stays stale/empty."""
+        trie = MetadataTrie()
+        trie.store(0x1000, 11, 22)
+        # a byte-by-byte copy performs no trie operations at all;
+        # the destination keeps whatever was there before
+        assert trie.load(0x5000) is None
+
+    @given(st.lists(st.tuples(st.integers(0, 1 << 47),
+                              st.integers(0, 1 << 47),
+                              st.integers(0, 1 << 47)),
+                    min_size=1, max_size=50))
+    def test_last_store_wins(self, entries):
+        trie = MetadataTrie()
+        expected = {}
+        for loc, base, bound in entries:
+            trie.store(loc, base, bound)
+            expected[loc >> 3] = (base, bound)
+        for slot, value in expected.items():
+            assert trie.load(slot << 3) == value
+
+
+class TestShadowStack:
+    def test_args_roundtrip(self):
+        ss = ShadowStack()
+        ss.enter(2)
+        ss.set_slot(0, 10, 20)
+        ss.set_slot(1, 30, 40)
+        assert ss.get_slot(0) == (10, 20)
+        assert ss.get_slot(1) == (30, 40)
+        ss.exit()
+
+    def test_nested_frames(self):
+        ss = ShadowStack()
+        ss.enter(1)
+        ss.set_slot(0, 1, 2)
+        ss.enter(1)
+        ss.set_slot(0, 3, 4)
+        assert ss.get_slot(0) == (3, 4)
+        ss.exit()
+        assert ss.get_slot(0) == (1, 2)
+        ss.exit()
+
+    def test_no_frame_returns_wide(self):
+        ss = ShadowStack()
+        assert ss.get_slot(0) == (WIDE_BASE, WIDE_BOUND)
+
+    def test_return_slot(self):
+        ss = ShadowStack()
+        ss.set_ret(100, 200)
+        assert ss.get_ret() == (100, 200)
+
+    def test_return_slot_staleness(self):
+        """The Section 4.3 failure mode: an uninstrumented callee does
+        not write the return slot, so the caller reads *stale* bounds
+        from the previous call."""
+        ss = ShadowStack()
+        ss.set_ret(100, 200)        # instrumented call happened earlier
+        # ... uninstrumented library call returns a pointer; nothing
+        # updates the slot ...
+        assert ss.get_ret() == (100, 200)   # stale!
+
+    def test_slot_memory_not_cleared(self):
+        """Frames alias raw slot memory: deeper garbage shows through
+        when a caller pushes fewer slots than it reads."""
+        ss = ShadowStack()
+        ss.enter(2)
+        ss.set_slot(0, 7, 8)
+        ss.set_slot(1, 9, 10)
+        ss.exit()
+        ss.enter(2)                 # same raw slots, not cleared
+        assert ss.get_slot(0) == (7, 8)
+        assert ss.get_slot(1) == (9, 10)
+
+    def test_exit_on_empty_is_safe(self):
+        ss = ShadowStack()
+        ss.exit()
+        assert ss.depth == 0

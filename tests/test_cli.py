@@ -1,0 +1,121 @@
+"""Tests for the command-line driver."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def demo_c(tmp_path):
+    path = tmp_path / "demo.c"
+    path.write_text(r"""
+int main() {
+    int *a = (int *) malloc(sizeof(int) * 4);
+    a[1] = 41;
+    print_i64(a[1] + 1);
+    free((void*)a);
+    return 0;
+}
+""")
+    return str(path)
+
+
+@pytest.fixture
+def buggy_c(tmp_path):
+    path = tmp_path / "buggy.c"
+    path.write_text(r"""
+int main() {
+    int *a = (int *) malloc(sizeof(int) * 4);
+    a[999] = 1;
+    free((void*)a);
+    return 0;
+}
+""")
+    return str(path)
+
+
+class TestRun:
+    def test_plain_run(self, demo_c, capsys):
+        assert main(["run", demo_c]) == 0
+        assert capsys.readouterr().out.strip() == "42"
+
+    def test_softbound_clean(self, demo_c, capsys):
+        assert main(["run", demo_c, "-mi-config=softbound"]) == 0
+        assert capsys.readouterr().out.strip() == "42"
+
+    def test_violation_exit_code(self, buggy_c, capsys):
+        assert main(["run", buggy_c, "-mi-config=lowfat"]) == 134
+        assert "violation" in capsys.readouterr().err
+
+    def test_stats_flag(self, demo_c, capsys):
+        assert main(["run", demo_c, "-mi-config=softbound", "--stats"]) == 0
+        err = capsys.readouterr().err
+        assert "deref checks" in err
+
+    def test_artifact_flag_set(self, demo_c, capsys):
+        args = ["run", demo_c,
+                "-mi-config=softbound",
+                "-mi-sb-size-zero-wide-upper",
+                "-mi-sb-inttoptr-wide-bounds",
+                "-mi-policy-ignore-inline-asm",
+                "-mi-opt-dominance"]
+        assert main(args) == 0
+
+    def test_extension_point_option(self, demo_c, capsys):
+        args = ["run", demo_c, "-mi-config=lowfat",
+                "--extension-point", "ModuleOptimizerEarly"]
+        assert main(args) == 0
+
+    def test_geninvariants_mode(self, buggy_c, capsys):
+        # metadata-only: the far OOB store is not *reported* (it traps)
+        code = main(["run", buggy_c, "-mi-config=softbound",
+                     "-mi-mode=geninvariants"])
+        assert code == 139
+        assert "fault" in capsys.readouterr().err
+
+    def test_missing_file(self, capsys):
+        assert main(["run", "/nonexistent.c"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_compile_error_reported(self, tmp_path, capsys):
+        bad = tmp_path / "bad.c"
+        bad.write_text("int main() { return }")
+        assert main(["run", str(bad)]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_unknown_mi_flag_rejected(self, demo_c):
+        with pytest.raises(SystemExit):
+            main(["run", demo_c, "-mi-frobnicate"])
+
+
+class TestEmit:
+    def test_emit_prints_ir(self, demo_c, capsys):
+        assert main(["emit", demo_c, "-mi-config=softbound"]) == 0
+        out = capsys.readouterr().out
+        assert "define i32 @main()" in out
+        assert "__sb_check" in out
+        assert "__sb_wrap_malloc" in out
+
+    def test_emitted_ir_reparses(self, demo_c, capsys):
+        from repro.ir import parse_module, verify_module
+
+        main(["emit", demo_c, "-mi-config=lowfat"])
+        text = capsys.readouterr().out
+        mod = parse_module(text)
+        verify_module(mod)
+
+
+class TestBench:
+    def test_bench_runs(self, capsys):
+        assert main(["bench", "197parser", "-mi-config=softbound"]) == 0
+        out = capsys.readouterr().out
+        assert "197parser" in out and "cycles=" in out
+
+    def test_bench_with_baseline(self, capsys):
+        assert main(["bench", "197parser", "-mi-config=lowfat",
+                     "--compare-baseline"]) == 0
+        assert "overhead=" in capsys.readouterr().out
+
+    def test_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            main(["bench", "999nope"])

@@ -1,0 +1,137 @@
+"""Tests for the end-to-end driver API."""
+
+import pytest
+
+from repro import (
+    CompileOptions,
+    NOOP,
+    compile_and_run,
+    compile_program,
+    run_program,
+)
+from repro.core import InstrumentationConfig
+
+
+class TestCompileProgram:
+    def test_single_source_string(self):
+        result = compile_and_run("int main() { print_i64(7); return 0; }")
+        assert result.ok and result.output == ["7"]
+
+    def test_source_sequence(self):
+        sources = [
+            "int helper() { return 4; }",
+            "int helper(); int main() { print_i64(helper()); return 0; }",
+        ]
+        result = compile_and_run(sources)
+        assert result.ok and result.output == ["4"]
+
+    def test_source_mapping_with_cross_unit_calls(self):
+        sources = {
+            "a.c": "int shared_fn(int x) { return x * 2; }",
+            "b.c": "int shared_fn(int x); int main() { print_i64(shared_fn(21)); return 0; }",
+        }
+        result = compile_and_run(sources)
+        assert result.ok and result.output == ["42"]
+
+    def test_instrumentation_statistics_exposed(self):
+        program = compile_program(
+            "int g; int main() { g = 1; return g; }",
+            InstrumentationConfig.softbound(),
+        )
+        assert program.instrumentation.gathered_checks > 0
+        assert any(key.endswith(":main") for key in program.per_function)
+
+    def test_opt_levels(self):
+        src = r"""
+        int main() {
+            long s = 0;
+            for (int i = 0; i < 50; i++) s += i * 2;
+            print_i64(s);
+            return 0;
+        }"""
+        results = {}
+        for level in (0, 3):
+            program = compile_program(src, options=CompileOptions(opt_level=level))
+            result = run_program(program, max_instructions=1_000_000)
+            results[level] = result
+        assert results[0].output == results[3].output == ["2450"]
+        assert results[3].stats.cycles < results[0].stats.cycles
+
+    def test_per_unit_obfuscation(self):
+        options = CompileOptions(obfuscate_pointer_copies=["b.c"])
+        assert not options.obfuscates("a.c")
+        assert options.obfuscates("b.c")
+        assert CompileOptions(obfuscate_pointer_copies=True).obfuscates("x")
+
+    def test_lto_toggle(self):
+        sources = {
+            "a.c": "int tiny(int x) { return x + 1; }",
+            "b.c": "int tiny(int x); int main() { return tiny(41); }",
+        }
+        with_lto = compile_program(sources, options=CompileOptions())
+        without = compile_program(
+            sources, options=CompileOptions(link_time_optimization=False)
+        )
+        from repro.ir import Call
+
+        def cross_unit_calls(program):
+            main = program.module.get_function("main")
+            return [
+                i for i in main.instructions()
+                if isinstance(i, Call) and i.callee_function is not None
+                and not i.callee_function.native
+            ]
+
+        assert not cross_unit_calls(with_lto)   # inlined at link time
+        assert cross_unit_calls(without)
+
+
+class TestRunResult:
+    def test_describe_variants(self):
+        ok = compile_and_run("int main() { return 3; }")
+        assert ok.describe() == "exit 3"
+        violation = compile_and_run(
+            "int main() { int *a = (int*) malloc(4); a[100] = 1; return 0; }",
+            InstrumentationConfig.lowfat(),
+        )
+        assert violation.describe().startswith("violation:")
+        assert not violation.ok
+
+    def test_fault_captured(self):
+        result = compile_and_run("int main() { int *p = NULL; return *p; }")
+        assert result.fault is not None
+        assert "null" in str(result.fault)
+
+    def test_abort_captured(self):
+        result = compile_and_run("int main() { abort(); return 0; }")
+        assert result.abort is not None
+
+
+class TestSeparateVsLinkedInstrumentation:
+    """Section 4.3's point: linking all files *before* applying
+    SoftBound resolves size-less extern arrays."""
+
+    DATA = "int shared[16];"
+    USE = r"""
+    extern int shared[];
+    int main() {
+        for (int i = 0; i < 16; i++) shared[i] = i;
+        long t = 0;
+        for (int i = 0; i < 16; i++) t += shared[i];
+        print_i64(t);
+        return 0;
+    }"""
+
+    def test_separate_compilation_has_wide_checks(self):
+        program = compile_program({"d.c": self.DATA, "u.c": self.USE},
+                                  InstrumentationConfig.softbound())
+        result = run_program(program, max_instructions=1_000_000)
+        assert result.ok and result.stats.checks_wide > 0
+
+    def test_linked_before_instrumentation_fully_checked(self):
+        # Linking the units into one source first: the definition is
+        # visible, no size-less declaration survives.
+        merged = self.DATA + self.USE.replace("extern int shared[];", "")
+        program = compile_program(merged, InstrumentationConfig.softbound())
+        result = run_program(program, max_instructions=1_000_000)
+        assert result.ok and result.stats.checks_wide == 0

@@ -1,0 +1,198 @@
+"""Tests for the simulated address space."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import MemoryFault, VMError
+from repro.vm.memory import (
+    Allocation,
+    GlobalsAllocator,
+    HEAP_BASE,
+    Memory,
+    SparsePages,
+    StackAllocator,
+    StandardAllocator,
+)
+
+
+class TestMemoryMapping:
+    def test_map_and_find(self):
+        mem = Memory()
+        alloc = mem.map(Allocation(0x10000, 64, "heap"))
+        assert mem.find(0x10000) is alloc
+        assert mem.find(0x1003F) is alloc
+        assert mem.find(0x10040) is None
+        assert mem.find(0xFFFF) is None
+
+    def test_overlap_rejected(self):
+        mem = Memory()
+        mem.map(Allocation(0x10000, 64, "heap"))
+        with pytest.raises(VMError, match="overlap"):
+            mem.map(Allocation(0x10020, 64, "heap"))
+        with pytest.raises(VMError, match="overlap"):
+            mem.map(Allocation(0xFFE0, 64, "heap"))
+
+    def test_null_page_unmappable(self):
+        mem = Memory()
+        with pytest.raises(VMError, match="NULL page"):
+            mem.map(Allocation(0x10, 8, "heap"))
+
+    def test_unmap(self):
+        mem = Memory()
+        alloc = mem.map(Allocation(0x10000, 64, "heap"))
+        mem.unmap(alloc)
+        assert mem.find(0x10000) is None
+        # space can be reused after unmap
+        mem.map(Allocation(0x10000, 32, "heap"))
+
+
+class TestAccess:
+    def _mem(self):
+        mem = Memory()
+        mem.map(Allocation(0x10000, 64, "heap", name="obj"))
+        return mem
+
+    def test_read_write_roundtrip(self):
+        mem = self._mem()
+        mem.write_int(0x10000, 0xDEADBEEF, 4)
+        assert mem.read_int(0x10000, 4) == 0xDEADBEEF
+
+    def test_little_endian(self):
+        mem = self._mem()
+        mem.write_int(0x10000, 0x0102030405060708, 8)
+        assert mem.read_bytes(0x10000, 1) == b"\x08"
+
+    def test_float_roundtrip(self):
+        mem = self._mem()
+        mem.write_float(0x10008, 3.25, 8)
+        assert mem.read_float(0x10008, 8) == 3.25
+        mem.write_float(0x10010, 1.5, 4)
+        assert mem.read_float(0x10010, 4) == 1.5
+
+    def test_null_dereference_faults(self):
+        mem = self._mem()
+        with pytest.raises(MemoryFault, match="null pointer"):
+            mem.read_int(0, 8)
+
+    def test_unmapped_access_faults(self):
+        mem = self._mem()
+        with pytest.raises(MemoryFault, match="unmapped"):
+            mem.read_int(0x20000, 4)
+
+    def test_straddling_access_faults(self):
+        mem = self._mem()
+        with pytest.raises(MemoryFault, match="straddles"):
+            mem.read_int(0x1003E, 4)
+
+    def test_use_after_free_faults(self):
+        mem = self._mem()
+        mem.find(0x10000).freed = True
+        with pytest.raises(MemoryFault, match="use after free"):
+            mem.read_int(0x10000, 4)
+
+    def test_in_bounds_of_wrong_object_succeeds(self):
+        """The key substrate property: OOB into *another mapped
+        allocation* silently corrupts -- no fault (paper Section 2)."""
+        mem = Memory()
+        mem.map(Allocation(0x10000, 64, "heap", name="a"))
+        mem.map(Allocation(0x10040, 64, "heap", name="b"))
+        # overrun of `a` by one lands in `b`
+        mem.write_int(0x10040, 7, 4)
+        assert mem.read_int(0x10040, 4) == 7
+
+
+class TestAllocators:
+    def test_malloc_unique_and_aligned(self):
+        mem = Memory()
+        heap = StandardAllocator(mem)
+        a = heap.malloc(10)
+        b = heap.malloc(10)
+        assert a.base % 16 == 0 and b.base % 16 == 0
+        assert a.end <= b.base  # guard gap between allocations
+
+    def test_malloc_guard_gap_faults(self):
+        mem = Memory()
+        heap = StandardAllocator(mem)
+        a = heap.malloc(16)
+        heap.malloc(16)
+        with pytest.raises(MemoryFault):
+            mem.read_int(a.end, 4)  # linear overrun hits the gap
+
+    def test_free_and_uaf(self):
+        mem = Memory()
+        heap = StandardAllocator(mem)
+        a = heap.malloc(16)
+        heap.free(a.base)
+        with pytest.raises(MemoryFault, match="use after free"):
+            mem.read_int(a.base, 4)
+
+    def test_free_invalid_pointer(self):
+        mem = Memory()
+        heap = StandardAllocator(mem)
+        a = heap.malloc(16)
+        with pytest.raises(MemoryFault, match="free of invalid"):
+            heap.free(a.base + 4)
+
+    def test_free_null_is_noop(self):
+        heap = StandardAllocator(Memory())
+        heap.free(0)
+
+    def test_stack_frames(self):
+        mem = Memory()
+        stack = StackAllocator(mem)
+        stack.push_frame()
+        a = stack.alloca(32)
+        stack.push_frame()
+        b = stack.alloca(32)
+        assert b.base < a.base  # grows down
+        stack.pop_frame()
+        with pytest.raises(MemoryFault):
+            mem.read_int(b.base, 4)  # popped frame is gone
+        mem.read_int(a.base, 4)      # outer frame still live
+        stack.pop_frame()
+
+    def test_alloca_outside_frame_rejected(self):
+        stack = StackAllocator(Memory())
+        with pytest.raises(VMError):
+            stack.alloca(8)
+
+    def test_globals_allocator(self):
+        mem = Memory()
+        ga = GlobalsAllocator(mem)
+        a = ga.allocate(100, "g1")
+        b = ga.allocate(4, "g2")
+        assert a.end <= b.base
+
+
+class TestSparsePages:
+    def test_default_zero(self):
+        sp = SparsePages(1 << 30)
+        assert sp[12345] == 0
+        assert sp[0:16] == bytes(16)
+
+    def test_write_read_roundtrip(self):
+        sp = SparsePages(1 << 30)
+        sp[1000:1008] = b"abcdefgh"
+        assert sp[1000:1008] == b"abcdefgh"
+        assert sp[999] == 0
+
+    def test_cross_page_slice(self):
+        sp = SparsePages(1 << 30)
+        boundary = SparsePages.PAGE_SIZE - 4
+        sp[boundary : boundary + 8] = b"12345678"
+        assert sp[boundary : boundary + 8] == b"12345678"
+
+    @given(
+        st.integers(0, (1 << 22) - 64),
+        st.binary(min_size=1, max_size=64),
+    )
+    def test_random_offsets_roundtrip(self, offset, data):
+        sp = SparsePages(1 << 22)
+        sp[offset : offset + len(data)] = data
+        assert sp[offset : offset + len(data)] == data
+
+    def test_huge_allocation_is_cheap(self):
+        alloc = Allocation(HEAP_BASE, 1 << 31, "heap")
+        assert isinstance(alloc.data, SparsePages)
+        alloc.data[1 << 30] = 42
+        assert alloc.data[1 << 30] == 42

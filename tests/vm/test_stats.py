@@ -1,0 +1,46 @@
+"""Tests for RuntimeStats bookkeeping."""
+
+from repro.vm.stats import RuntimeStats
+
+
+class TestCharging:
+    def test_charge_accumulates(self):
+        stats = RuntimeStats()
+        stats.charge("add", 1)
+        stats.charge("add", 1)
+        stats.charge("load", 3)
+        assert stats.cycles == 5
+        assert stats.instructions == 3
+        assert stats.opcode_counts["add"] == 2
+        assert stats.opcode_counts["load"] == 1
+
+
+class TestCheckRecording:
+    def test_record_check_classification(self):
+        stats = RuntimeStats()
+        stats.record_check("f:bb:1", wide=False)
+        stats.record_check("f:bb:1", wide=False)
+        stats.record_check("f:bb:2", wide=True)
+        assert stats.checks_executed == 3
+        assert stats.checks_wide == 1
+        assert stats.per_site["f:bb:1"]["executed"] == 2
+        assert stats.per_site["f:bb:1"]["wide"] == 0
+        assert stats.per_site["f:bb:2"]["wide"] == 1
+
+    def test_unsafe_percent(self):
+        stats = RuntimeStats()
+        assert stats.unsafe_percent == 0.0  # no division by zero
+        for i in range(3):
+            stats.record_check("s", wide=(i == 0))
+        assert round(stats.unsafe_percent, 2) == 33.33
+
+    def test_summary_mentions_key_counters(self):
+        stats = RuntimeStats()
+        stats.record_check("s", wide=True)
+        stats.invariant_checks = 4
+        stats.trie_loads = 2
+        text = stats.summary()
+        assert "deref checks" in text
+        assert "1 wide" in text
+        assert "invariant checks:  4" in text
+        assert "2 loads" in text

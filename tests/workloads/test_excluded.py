@@ -1,0 +1,63 @@
+"""The excluded benchmarks (Section 5.1.1) fail for exactly the
+documented reasons."""
+
+import pytest
+
+from repro import CompileOptions, compile_program, run_program
+from repro.core import InstrumentationConfig
+from repro.workloads.excluded import EXCLUDED, excluded_by_name
+
+CONFIGS = {
+    "softbound": InstrumentationConfig.softbound(),
+    "lowfat": InstrumentationConfig.lowfat(),
+}
+NAMES = sorted(b.name for b in EXCLUDED)
+
+
+def outcome(bench, approach):
+    program = compile_program(bench.sources, CONFIGS[approach],
+                              CompileOptions(verify=True))
+    result = run_program(program, max_instructions=2_000_000)
+    if result.violation is not None:
+        return result.violation.kind
+    if result.fault is not None:
+        return "fault"
+    return "ok"
+
+
+def test_five_exclusions_modelled():
+    assert len(EXCLUDED) == 5
+    assert set(NAMES) == {"253perlbmk", "254gap", "176gcc", "175vpr",
+                          "255vortex"}
+
+
+@pytest.mark.parametrize("name", NAMES)
+@pytest.mark.parametrize("approach", ["softbound", "lowfat"])
+def test_exclusion_reason_reproduces(name, approach):
+    bench = excluded_by_name()[name]
+    expected = bench.expected[approach]
+    got = outcome(bench, approach)
+    assert got == expected, (
+        f"{name} under {approach}: expected {expected!r} "
+        f"({bench.reason}), got {got!r}"
+    )
+
+
+def test_pseudo_base_one_is_lf_specific():
+    """254gap: SoftBound reports nothing, Low-Fat rejects -- the
+    asymmetry that forces exclusion rather than patching."""
+    gap = excluded_by_name()["254gap"]
+    assert outcome(gap, "softbound") == "ok"
+    assert outcome(gap, "lowfat") == "invariant"
+
+
+def test_excluded_benchmarks_run_uninstrumented():
+    """The paper could still *run* these programs (the UB is silent
+    without a sanitizer); only instrumentation rejects them."""
+    for bench in EXCLUDED:
+        if bench.name == "176gcc":
+            continue   # NULL+offset traps even without a sanitizer
+        program = compile_program(bench.sources,
+                                  options=CompileOptions(verify=True))
+        result = run_program(program, max_instructions=2_000_000)
+        assert result.violation is None

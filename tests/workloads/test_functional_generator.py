@@ -1,0 +1,59 @@
+"""Unit tests for the functional-corpus generator itself (the corpus
+execution lives in tests/integration/test_functional_corpus.py)."""
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.ir import verify_module
+from repro.lowfat import layout
+from repro.workloads.functional import (
+    ELEMENT_COUNT,
+    generate_case,
+    generate_corpus,
+    _lowfat_expectation,
+)
+
+
+class TestGenerator:
+    def test_all_sources_compile(self):
+        for case in generate_corpus():
+            verify_module(compile_source(case.source, case.name))
+
+    def test_names_unique(self):
+        names = [c.name for c in generate_corpus()]
+        assert len(names) == len(set(names))
+
+    def test_clean_cases_expected_ok(self):
+        for case in generate_corpus():
+            if case.violation == "none":
+                assert case.expected == {"softbound": "ok", "lowfat": "ok"}
+
+    def test_softbound_expected_violation_for_all_oob(self):
+        for case in generate_corpus():
+            if case.violation != "none":
+                assert case.expected["softbound"] == "violation"
+
+
+class TestLowFatPredictor:
+    def test_underflow_always_violates(self):
+        assert _lowfat_expectation(4, -2, 4) == "violation"
+
+    def test_adjacent_overflow_lands_in_padding(self):
+        # 24 ints = 96 bytes -> 128-byte class: arr[24] is padding
+        assert _lowfat_expectation(4, ELEMENT_COUNT, 4) == "ok"
+
+    def test_far_overflow_violates(self):
+        assert _lowfat_expectation(4, ELEMENT_COUNT + 10000, 4) == "violation"
+
+    def test_class_boundary_is_exact(self):
+        # chars: 24 bytes -> 32-byte class; offset 31 ok, offset 32 not
+        assert _lowfat_expectation(1, 31, 1) == "ok"
+        assert _lowfat_expectation(1, 32, 1) == "violation"
+
+    def test_predictor_matches_layout(self):
+        requested = ELEMENT_COUNT * 8
+        region = layout.size_class_for(requested)
+        class_size = layout.allocation_size(region)
+        last_ok_index = class_size // 8 - 1
+        assert _lowfat_expectation(8, last_ok_index, 8) == "ok"
+        assert _lowfat_expectation(8, last_ok_index + 1, 8) == "violation"

@@ -1,0 +1,110 @@
+"""Workload suite validation.
+
+Every workload must (a) compile and run cleanly uninstrumented, and
+(b) produce *identical output* under both instrumentations in every
+configuration the evaluation uses -- the reproduction's equivalent of
+"the benchmark executes successfully with both approaches"
+(paper Section 5.1.1).
+"""
+
+import pytest
+
+from repro.experiments.common import Runner, config_for
+from repro.workloads import all_names, all_workloads, get
+
+RUNNER = Runner()
+
+
+class TestRegistry:
+    def test_twenty_workloads(self):
+        assert len(all_names()) == 20
+
+    def test_paper_benchmarks_present(self):
+        expected = {
+            "164gzip", "177mesa", "179art", "181mcf", "183equake",
+            "186crafty", "188ammp", "197parser", "256bzip2", "300twolf",
+            "401bzip2", "429mcf", "433milc", "445gobmk", "456hmmer",
+            "458sjeng", "462libquantum", "464h264ref", "470lbm",
+            "482sphinx3",
+        }
+        assert set(all_names()) == expected
+
+    def test_size_zero_benchmarks_marked(self):
+        """The paper's Table 2 bolds the size-zero-declaration set."""
+        marked = {w.name for w in all_workloads() if w.has_size_zero_arrays}
+        assert marked == {"164gzip", "197parser", "300twolf", "433milc",
+                          "445gobmk"}
+
+    def test_descriptions_present(self):
+        for workload in all_workloads():
+            assert workload.description
+
+
+@pytest.mark.parametrize("name", all_names())
+class TestExecution:
+    def test_baseline_runs(self, name):
+        result = RUNNER.baseline(get(name))
+        assert result.ok, result.describe
+        assert result.output  # prints a checksum
+
+    def test_softbound_preserves_output(self, name):
+        result = RUNNER.run(get(name), "softbound")
+        assert result.ok, result.describe
+
+    def test_lowfat_preserves_output(self, name):
+        result = RUNNER.run(get(name), "lowfat")
+        assert result.ok, result.describe
+
+    def test_metadata_configs_preserve_output(self, name):
+        for label in ("softbound-meta", "lowfat-meta"):
+            result = RUNNER.run(get(name), label)
+            assert result.ok, f"{label}: {result.describe}"
+
+    def test_early_extension_point_preserves_output(self, name):
+        for label in ("softbound", "lowfat"):
+            result = RUNNER.run(get(name), label,
+                                extension_point="ModuleOptimizerEarly")
+            assert result.ok, f"{label}@early: {result.describe}"
+
+
+class TestCharacteristics:
+    def test_gzip_softbound_mostly_wide(self):
+        result = RUNNER.run(get("164gzip"), "softbound")
+        assert 40.0 < result.unsafe_percent < 85.0
+
+    def test_gzip_lowfat_fully_checked(self):
+        result = RUNNER.run(get("164gzip"), "lowfat")
+        assert result.checks_wide == 0
+
+    def test_429mcf_lowfat_mostly_wide(self):
+        result = RUNNER.run(get("429mcf"), "lowfat")
+        assert 35.0 < result.unsafe_percent < 75.0
+        assert result.lowfat_fallbacks == 1    # the one >1GiB allocation
+
+    def test_429mcf_softbound_fully_checked(self):
+        result = RUNNER.run(get("429mcf"), "softbound")
+        assert result.checks_wide == 0
+
+    def test_milc_declares_but_never_uses_sizeless(self):
+        result = RUNNER.run(get("433milc"), "softbound")
+        assert result.checks_wide == 0         # declared, not accessed
+
+    def test_equake_favours_lowfat(self):
+        w = get("183equake")
+        sb = RUNNER.overhead(w, "softbound")
+        lf = RUNNER.overhead(w, "lowfat")
+        assert lf < sb
+
+    def test_crafty_favours_softbound(self):
+        w = get("186crafty")
+        sb = RUNNER.overhead(w, "softbound")
+        lf = RUNNER.overhead(w, "lowfat")
+        assert sb < lf
+
+    def test_parser_trie_heavy(self):
+        result = RUNNER.run(get("197parser"), "softbound")
+        assert result.trie_stores > 100
+
+    def test_h264_trie_heavy(self):
+        result = RUNNER.run(get("464h264ref"), "softbound")
+        assert result.trie_stores > 1000
