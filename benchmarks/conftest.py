@@ -10,15 +10,30 @@ Each ``bench_*.py`` file regenerates one table or figure of the paper:
 Programs are compiled once per (workload, configuration, extension
 point) and cached for the whole benchmark session; each timing round
 executes a fresh VM over the cached module.
+
+The paper-style tables are produced by the experiment engine, which
+shares one *persistent* on-disk result cache across all bench_*.py
+invocations (so regenerating the full suite no longer repeats
+identical (workload, config) runs per file).  Environment knobs:
+
+* ``REPRO_BENCH_JOBS`` -- worker processes for the table runs
+  (default 1);
+* ``REPRO_CACHE_DIR`` -- cache directory (default
+  ``~/.cache/repro-bench``);
+* ``REPRO_NO_CACHE=1`` -- disable the disk cache;
+* ``REPRO_VERIFY_CACHE=1`` -- recompute one cached result per session
+  and hard-error on any mismatch.
 """
 
 from __future__ import annotations
 
+import os
 from typing import Dict, Tuple
 
 import pytest
 
 from repro.driver import CompileOptions, CompiledProgram, compile_program, make_vm
+from repro.experiments.cache import ResultCache, default_cache_dir
 from repro.experiments.common import Runner, config_for
 from repro.workloads import get
 
@@ -65,8 +80,17 @@ def run_benchmark(benchmark, workload_name: str, label: str,
 
 @pytest.fixture(scope="session")
 def runner():
-    """Session-wide experiment runner (cycle-based tables)."""
-    return Runner()
+    """Session-wide experiment engine (cycle-based tables), sharing a
+    persistent disk cache across benchmark invocations."""
+    cache = None
+    if os.environ.get("REPRO_NO_CACHE") != "1":
+        cache = ResultCache(os.environ.get("REPRO_CACHE_DIR")
+                            or default_cache_dir())
+    return Runner(
+        jobs=int(os.environ.get("REPRO_BENCH_JOBS", "1")),
+        cache=cache,
+        verify_cache=os.environ.get("REPRO_VERIFY_CACHE") == "1",
+    )
 
 
 #: Representative subset used by the heavier figures to keep the

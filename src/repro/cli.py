@@ -10,6 +10,13 @@ same for the reproduction::
 
 ``-mi-*`` flags use the artifact's exact syntax (Appendix A.6) and are
 parsed by :meth:`InstrumentationConfig.from_flags`.
+
+Every table/figure of the evaluation is also a subcommand, executed by
+the parallel, disk-cached experiment engine::
+
+    python -m repro table1 --jobs 4
+    python -m repro report --jobs 4 --output report.md   # warm rerun is near-instant
+    python -m repro fig9 --workloads 164gzip,183equake --no-cache
 """
 
 from __future__ import annotations
@@ -29,6 +36,24 @@ def _split_mi_flags(argv: List[str]):
     mi_flags = [a for a in argv if a.startswith("-mi-")]
     rest = [a for a in argv if not a.startswith("-mi-")]
     return mi_flags, rest
+
+
+#: Experiment subcommands -> (module name, generator attribute).  The
+#: modules are imported lazily; each generator is called as
+#: ``generate(engine, workloads)``.
+EXPERIMENT_COMMANDS = {
+    "table1": ("table1", "generate", "Table 1: instrumentation targets per task"),
+    "table2": ("table2", "generate", "Table 2: unsafe dereferences in %"),
+    "fig9": ("fig9", "generate", "Figure 9: SoftBound vs Low-Fat overhead"),
+    "fig10": ("fig10", "generate", "Figure 10: SoftBound config comparison"),
+    "fig11": ("fig11", "generate", "Figure 11: Low-Fat config comparison"),
+    "fig12": ("fig12_13", "generate_fig12", "Figure 12: SoftBound extension points"),
+    "fig13": ("fig12_13", "generate_fig13", "Figure 13: Low-Fat extension points"),
+    "optstats": ("optstats", "generate", "Section 5.3: dominance elimination stats"),
+    "breakdown": ("breakdown", "generate", "Section 5.4: overhead attribution"),
+    "ablation": ("ablation", "generate", "configuration trade-off ablations"),
+    "report": (None, None, "full evaluation report (all tables and figures)"),
+}
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -67,6 +92,14 @@ def _build_parser() -> argparse.ArgumentParser:
     common(bench_p)
     bench_p.add_argument("--compare-baseline", action="store_true",
                          help="also run uninstrumented and print overhead")
+
+    from .experiments.runner import add_engine_arguments
+
+    for name, (_, _, help_text) in EXPERIMENT_COMMANDS.items():
+        exp_p = sub.add_parser(name, help=help_text)
+        add_engine_arguments(exp_p)
+        exp_p.add_argument("--output", "-o", default=None, metavar="FILE",
+                           help="write the result to FILE instead of stdout")
     return parser
 
 
@@ -84,6 +117,38 @@ def _config_from(mi_flags: List[str]) -> InstrumentationConfig:
     return InstrumentationConfig.from_flags(mi_flags)
 
 
+def _run_experiment(args, parser) -> int:
+    import importlib
+
+    from .experiments.runner import engine_from_args, workloads_from_args
+
+    try:
+        workloads = workloads_from_args(args)
+    except ValueError as exc:
+        parser.error(str(exc))
+    engine = engine_from_args(args)
+
+    if args.command == "report":
+        from .experiments import report
+
+        text = report.generate(engine, workloads)
+    else:
+        module_name, attribute, _ = EXPERIMENT_COMMANDS[args.command]
+        module = importlib.import_module(f".experiments.{module_name}",
+                                         __package__)
+        text = getattr(module, attribute)(engine, workloads)
+
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text if text.endswith("\n") else text + "\n")
+        print(f"written to {args.output}")
+    else:
+        print(text)
+    print(f"[engine] {engine.executed_jobs} jobs executed, "
+          f"{engine.cache_hits} served from cache", file=sys.stderr)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     mi_flags, rest = _split_mi_flags(argv)
@@ -93,6 +158,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         config = _config_from(mi_flags)
     except ValueError as exc:
         parser.error(str(exc))
+
+    if args.command in EXPERIMENT_COMMANDS:
+        try:
+            return _run_experiment(args, parser)
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
 
     options_kwargs = dict(
         opt_level=args.opt_level,

@@ -39,6 +39,16 @@ class VMError(ReproError):
     undefined function)."""
 
 
+class CacheVerificationError(ReproError):
+    """A cached benchmark result disagrees with a fresh recomputation.
+
+    Raised by the experiment engine's ``--verify-cache`` self-check: the
+    VM is deterministic, so a cached :class:`BenchResult` must be
+    *identical* to a recomputation from the same inputs.  Any mismatch
+    means the cache (or the result transport) corrupted data and is a
+    hard error -- never silently prefer either side."""
+
+
 class MemoryFault(VMError):
     """Simulated hardware trap: access to unmapped or freed memory."""
 

@@ -1,5 +1,32 @@
-"""Experiment harness: regenerates every table and figure of the paper."""
+"""Experiment harness: regenerates every table and figure of the paper.
 
-from .common import Runner, config_for, format_table, geomean
+Results are produced by the parallel, disk-cached execution engine in
+:mod:`.runner`; see EXPERIMENTS.md for the ``--jobs`` / ``--cache-dir``
+workflow.
+"""
 
-__all__ = ["Runner", "config_for", "format_table", "geomean"]
+from .cache import ResultCache, default_cache_dir, job_key
+from .common import (
+    BenchResult,
+    CONFIG_LABELS,
+    ExperimentEngine,
+    JobRequest,
+    Runner,
+    config_for,
+    format_table,
+    geomean,
+)
+
+__all__ = [
+    "BenchResult",
+    "CONFIG_LABELS",
+    "ExperimentEngine",
+    "JobRequest",
+    "ResultCache",
+    "Runner",
+    "config_for",
+    "default_cache_dir",
+    "format_table",
+    "geomean",
+    "job_key",
+]

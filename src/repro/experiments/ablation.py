@@ -14,51 +14,91 @@ measurable:
 * **Low-Fat: region capacity** -- shrinking per-class regions forces
   standard-allocator fallbacks, trading protection for memory
   (the configuration lever of Section 4.6).
+
+The ablation cells go through the same execution engine as the main
+experiments (custom configurations ride in ``config_override``), so
+they parallelize and cache like everything else.  Output validation is
+off: several cells *expect* spurious violations.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 from ..core.config import InstrumentationConfig
-from ..driver import CompileOptions, compile_program, run_program
 from ..workloads import get
-from .common import format_table
+from .common import BenchResult, JobRequest, Runner, format_table
+
+#: (label, constructor) for every ablation configuration; the label is
+#: only for display and cache diagnostics -- the cache key hashes the
+#: actual configuration contents.
+_SB_WIDE = InstrumentationConfig.softbound
+_SIZE_ZERO_BENCHMARKS = ("164gzip", "445gobmk", "433milc")
+_INTTOPTR_BENCHMARKS = ("456hmmer", "458sjeng")
+_WRAPPER_BENCHMARKS = ("464h264ref", "300twolf")
+_CAPACITIES = (None, 1 << 16, 1 << 12, 1 << 10)
 
 
-def _run(workload_name: str, config: Optional[InstrumentationConfig],
-         lf_region_capacity: Optional[int] = None):
-    workload = get(workload_name)
-    options = CompileOptions(
-        obfuscate_pointer_copies=tuple(workload.obfuscated_units)
+def _request(workload_name: str, label: str,
+             config: Optional[InstrumentationConfig],
+             lf_region_capacity: Optional[int] = None) -> JobRequest:
+    return JobRequest(
+        get(workload_name), label,
+        config_override=config,
+        lf_region_capacity=lf_region_capacity,
+        validate_output=False,
     )
-    if config is None:
-        program = compile_program(workload.sources, options=options)
-    else:
-        program = compile_program(workload.sources, config, options)
-    return run_program(program, max_instructions=100_000_000,
-                       lf_region_capacity=lf_region_capacity)
 
 
-def _verdict(result) -> str:
-    if result.violation is not None:
-        return f"spurious {result.violation.kind} report"
-    if result.fault is not None:
+def _capacity_label(capacity: Optional[int]) -> str:
+    return "lf-cap-full" if capacity is None else f"lf-cap-{capacity}"
+
+
+def requests(workloads=None) -> List[JobRequest]:
+    """The full ablation matrix.  The benchmark set is fixed by the
+    study design, so the ``workloads`` subset argument is ignored."""
+    reqs: List[JobRequest] = []
+    for benchmark in _SIZE_ZERO_BENCHMARKS:
+        reqs.append(_request(benchmark, "sb-size-zero-wide", _SB_WIDE()))
+        reqs.append(_request(benchmark, "sb-size-zero-null",
+                             _SB_WIDE(sb_size_zero_wide_upper=False)))
+    for benchmark in _INTTOPTR_BENCHMARKS:
+        reqs.append(_request(benchmark, "sb-inttoptr-wide", _SB_WIDE()))
+        reqs.append(_request(benchmark, "sb-inttoptr-null",
+                             _SB_WIDE(sb_inttoptr_wide_bounds=False)))
+    for benchmark in _WRAPPER_BENCHMARKS:
+        reqs.append(_request(benchmark, "baseline", None))
+        reqs.append(_request(benchmark, "sb-wrappers-off",
+                             _SB_WIDE(opt_dominance=True)))
+        reqs.append(_request(benchmark, "sb-wrappers-on",
+                             _SB_WIDE(opt_dominance=True,
+                                      sb_wrapper_checks=True)))
+    for capacity in _CAPACITIES:
+        reqs.append(_request("197parser", _capacity_label(capacity),
+                             InstrumentationConfig.lowfat(),
+                             lf_region_capacity=capacity))
+    return reqs
+
+
+def _verdict(result: BenchResult) -> str:
+    if result.status == "violation":
+        return f"spurious {result.violation_kind} report"
+    if result.status == "fault":
         return "fault"
     return "runs"
 
 
-def ablate_sb_size_zero() -> str:
+def ablate_sb_size_zero(runner: Runner) -> str:
     rows: List[List[str]] = []
-    for benchmark in ("164gzip", "445gobmk", "433milc"):
-        wide = _run(benchmark, InstrumentationConfig.softbound())
-        null = _run(
-            benchmark,
-            InstrumentationConfig.softbound(sb_size_zero_wide_upper=False),
-        )
+    for benchmark in _SIZE_ZERO_BENCHMARKS:
+        wide = runner.run_request(
+            _request(benchmark, "sb-size-zero-wide", _SB_WIDE()))
+        null = runner.run_request(
+            _request(benchmark, "sb-size-zero-null",
+                     _SB_WIDE(sb_size_zero_wide_upper=False)))
         rows.append([
             benchmark,
-            f"{_verdict(wide)} ({wide.stats.unsafe_percent:.1f}% wide)",
+            f"{_verdict(wide)} ({wide.unsafe_percent:.1f}% wide)",
             _verdict(null),
         ])
     return (
@@ -68,14 +108,14 @@ def ablate_sb_size_zero() -> str:
     )
 
 
-def ablate_sb_inttoptr() -> str:
+def ablate_sb_inttoptr(runner: Runner) -> str:
     rows: List[List[str]] = []
-    for benchmark in ("456hmmer", "458sjeng"):
-        wide = _run(benchmark, InstrumentationConfig.softbound())
-        null = _run(
-            benchmark,
-            InstrumentationConfig.softbound(sb_inttoptr_wide_bounds=False),
-        )
+    for benchmark in _INTTOPTR_BENCHMARKS:
+        wide = runner.run_request(
+            _request(benchmark, "sb-inttoptr-wide", _SB_WIDE()))
+        null = runner.run_request(
+            _request(benchmark, "sb-inttoptr-null",
+                     _SB_WIDE(sb_inttoptr_wide_bounds=False)))
         rows.append([benchmark, _verdict(wide), _verdict(null)])
     return (
         "SoftBound integer-to-pointer casts: wide bounds vs NULL bounds\n"
@@ -84,20 +124,20 @@ def ablate_sb_inttoptr() -> str:
     )
 
 
-def ablate_sb_wrapper_checks() -> str:
+def ablate_sb_wrapper_checks(runner: Runner) -> str:
     rows: List[List[str]] = []
-    for benchmark in ("464h264ref", "300twolf"):
-        base = _run(benchmark, None)
-        off = _run(benchmark, InstrumentationConfig.softbound(opt_dominance=True))
-        on = _run(
-            benchmark,
-            InstrumentationConfig.softbound(opt_dominance=True,
-                                            sb_wrapper_checks=True),
-        )
+    for benchmark in _WRAPPER_BENCHMARKS:
+        base = runner.run_request(_request(benchmark, "baseline", None))
+        off = runner.run_request(
+            _request(benchmark, "sb-wrappers-off",
+                     _SB_WIDE(opt_dominance=True)))
+        on = runner.run_request(
+            _request(benchmark, "sb-wrappers-on",
+                     _SB_WIDE(opt_dominance=True, sb_wrapper_checks=True)))
         rows.append([
             benchmark,
-            f"{off.stats.cycles / base.stats.cycles:.2f}x",
-            f"{on.stats.cycles / base.stats.cycles:.2f}x",
+            f"{off.cycles / base.cycles:.2f}x",
+            f"{on.cycles / base.cycles:.2f}x",
         ])
     return (
         "SoftBound libc wrapper checks (Section 5.1.2 disables them for "
@@ -106,17 +146,19 @@ def ablate_sb_wrapper_checks() -> str:
     )
 
 
-def ablate_lf_region_capacity() -> str:
+def ablate_lf_region_capacity(runner: Runner) -> str:
     rows: List[List[str]] = []
-    for capacity in (None, 1 << 16, 1 << 12, 1 << 10):
-        result = _run("197parser", InstrumentationConfig.lowfat(),
-                      lf_region_capacity=capacity)
+    for capacity in _CAPACITIES:
+        result = runner.run_request(
+            _request("197parser", _capacity_label(capacity),
+                     InstrumentationConfig.lowfat(),
+                     lf_region_capacity=capacity))
         label = "full (4 GiB)" if capacity is None else f"{capacity} B"
         rows.append([
             label,
-            str(result.stats.lowfat_allocs),
-            str(result.stats.lowfat_fallback_allocs),
-            f"{result.stats.unsafe_percent:.2f}%",
+            str(result.lowfat_allocs),
+            str(result.lowfat_fallbacks),
+            f"{result.unsafe_percent:.2f}%",
         ])
     return (
         "Low-Fat region capacity sweep on 197parser: exhausted regions "
@@ -129,12 +171,14 @@ def ablate_lf_region_capacity() -> str:
     )
 
 
-def generate(runner=None) -> str:
+def generate(runner: Runner = None, workloads=None) -> str:
+    runner = runner or Runner()
+    runner.prefetch(requests())
     sections = [
-        ablate_sb_size_zero(),
-        ablate_sb_inttoptr(),
-        ablate_sb_wrapper_checks(),
-        ablate_lf_region_capacity(),
+        ablate_sb_size_zero(runner),
+        ablate_sb_inttoptr(runner),
+        ablate_sb_wrapper_checks(runner),
+        ablate_lf_region_capacity(runner),
     ]
     return "Ablations: configuration trade-offs (paper Sections 4.3-4.6, "\
            "5.1.2)\n\n" + "\n\n".join(sections)

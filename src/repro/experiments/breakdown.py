@@ -18,11 +18,11 @@ dominate at early extension points.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..vm import costs
-from ..workloads import all_workloads
-from .common import Runner, format_table
+from ..workloads import Workload, all_workloads
+from .common import JobRequest, Runner, format_table
 
 SB_CATEGORIES: List[Tuple[str, Tuple[str, ...]]] = [
     ("checks", ("__sb_check",)),
@@ -61,33 +61,33 @@ def _wrapper_cycles(opcode_counts) -> int:
     return total
 
 
-def generate(runner: Runner = None) -> str:
-    # Needs raw opcode counts: run directly rather than via the cache.
-    from ..driver import CompileOptions, compile_program, make_vm
+def requests(workloads: Optional[Sequence[Workload]] = None) -> List[JobRequest]:
+    workloads = all_workloads() if workloads is None else list(workloads)
+    return [JobRequest(workload, label)
+            for workload in workloads
+            for label in ("baseline", "softbound", "lowfat")]
+
+
+def generate(runner: Runner = None,
+             workloads: Optional[Sequence[Workload]] = None) -> str:
+    # BenchResult carries the raw per-opcode counts, so the attribution
+    # runs off the same engine (and cache) as every other experiment.
+    runner = runner or Runner()
+    workloads = all_workloads() if workloads is None else list(workloads)
+    runner.prefetch(requests(workloads))
 
     rows_sb: List[List[str]] = []
     rows_lf: List[List[str]] = []
-    for workload in all_workloads():
-        options = CompileOptions(
-            obfuscate_pointer_copies=tuple(workload.obfuscated_units)
-        )
-        base_prog = compile_program(workload.sources, options=options)
-        base_vm = make_vm(base_prog, max_instructions=100_000_000)
-        base_vm.run()
-        base_cycles = base_vm.stats.cycles
+    for workload in workloads:
+        base_cycles = runner.baseline(workload).cycles
 
         for label, categories, rows in (
             ("softbound", SB_CATEGORIES, rows_sb),
             ("lowfat", LF_CATEGORIES, rows_lf),
         ):
-            from .common import config_for
-
-            program = compile_program(workload.sources, config_for(label),
-                                      options)
-            vm = make_vm(program, max_instructions=100_000_000)
-            vm.run()
-            counts = vm.stats.opcode_counts
-            overhead = vm.stats.cycles - base_cycles
+            result = runner.run(workload, label)
+            counts = result.opcode_counts
+            overhead = result.cycles - base_cycles
             parts = {
                 name: _runtime_cycles(counts, natives)
                 for name, natives in categories

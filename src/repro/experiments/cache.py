@@ -1,0 +1,126 @@
+"""Content-addressed on-disk cache for benchmark results.
+
+Every experiment job is described by a *self-contained payload*: the
+workload sources, the full :class:`InstrumentationConfig`, the compile
+options, the VM budget, and the runtime knobs.  The cache key is the
+SHA-256 of the canonical JSON of that payload plus the repro package
+version, so
+
+* identical (workload, configuration) requests -- whether they come
+  from another experiment module, another process, or another
+  ``benchmarks/bench_*.py`` invocation -- resolve to the same entry;
+* *any* change to the keyed inputs (a workload source edit, a config
+  flag, a different extension point or instruction budget, a package
+  upgrade) changes the key and therefore invalidates the entry
+  automatically.  Stale entries are never consulted; they are simply
+  unreachable garbage.
+
+Entries are one JSON file per key under ``<dir>/<key[:2]>/<key>.json``,
+written atomically (temp file + ``os.replace``) so concurrent writers
+of the *same* key are harmless.  Unreadable or malformed entries are
+treated as misses.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Iterator, Optional
+
+from .. import __version__
+
+#: Bump when the BenchResult JSON schema changes incompatibly; old
+#: entries then miss instead of deserializing garbage.
+CACHE_FORMAT_VERSION = 1
+
+#: Payload fields that do not influence the measured result: the
+#: reference output is itself a deterministic function of the keyed
+#: inputs (it is the baseline run's output), and the timeout only
+#: bounds the job's wall clock.
+_NON_KEY_FIELDS = ("reference_output", "timeout")
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR``, else ``$XDG_CACHE_HOME/repro-bench``,
+    else ``~/.cache/repro-bench``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    base = os.environ.get("XDG_CACHE_HOME")
+    if not base:
+        base = os.path.join(os.path.expanduser("~"), ".cache")
+    return Path(base) / "repro-bench"
+
+
+def job_key(payload: dict) -> str:
+    """Content hash of a job payload (minus the non-key fields)."""
+    keyed = {k: v for k, v in payload.items() if k not in _NON_KEY_FIELDS}
+    keyed["repro_version"] = __version__
+    keyed["cache_format"] = CACHE_FORMAT_VERSION
+    blob = json.dumps(keyed, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Directory of content-addressed ``BenchResult`` JSON documents."""
+
+    def __init__(self, directory) -> None:
+        self.directory = Path(directory)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def path_for(self, key: str) -> Path:
+        return self.directory / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[dict]:
+        """The stored result JSON for ``key``, or None on a miss."""
+        path = self.path_for(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+            result = document["result"]
+            if document.get("format") != CACHE_FORMAT_VERSION:
+                raise ValueError("stale cache format")
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, result: dict, describe: Optional[dict] = None) -> None:
+        """Store ``result`` (a ``BenchResult.to_json()`` dict) under
+        ``key``.  ``describe`` is an optional human-readable summary of
+        the keyed inputs, kept alongside for debugging."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        document = {
+            "format": CACHE_FORMAT_VERSION,
+            "key": key,
+            "inputs": describe or {},
+            "result": result,
+        }
+        fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(document, handle, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stores += 1
+
+    def paths(self) -> Iterator[Path]:
+        """All entry files currently in the cache directory."""
+        if not self.directory.is_dir():
+            return iter(())
+        return self.directory.glob("*/*.json")
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.paths())

@@ -3,21 +3,27 @@
 Each experiment module (table1, table2, fig9, ...) regenerates one
 table or figure of the paper from the same primitives: compile a
 workload under a configuration, run it on the VM, and collect the
-statistics.  Results are cached per (workload, configuration label)
-within a process so that e.g. the Figure 9 runs are reused by Table 2.
+statistics.  Results are requested through the execution engine in
+:mod:`.runner`, which memoizes them in-process, can fan independent
+jobs out over worker processes, and can persist them in the
+content-addressed on-disk cache of :mod:`.cache` so that a second full
+report regeneration is near-instant.
+
+``Runner`` remains the name of the engine (it is an alias of
+:class:`.runner.ExperimentEngine`) so existing call sites keep working;
+the default construction ``Runner()`` is serial and memory-only, just
+like the historical per-process runner.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from dataclasses import asdict, dataclass, field
+from typing import Dict, Iterable, List, Optional
 
 from ..core.config import InstrumentationConfig
 from ..core.itarget import TargetStatistics
-from ..driver import CompileOptions, CompiledProgram, compile_program, run_program
-from ..vm.stats import RuntimeStats
-from ..workloads import Workload, all_workloads
+from ..driver import CompiledProgram, RunResult
 
 MAX_INSTRUCTIONS = 50_000_000
 
@@ -52,6 +58,20 @@ def config_for(label: str) -> Optional[InstrumentationConfig]:
 
 @dataclass
 class BenchResult:
+    """One (workload, configuration, extension point) measurement.
+
+    JSON-serializable: ``to_json``/``from_json`` round-trip exactly,
+    which is what makes results survive both worker-process transport
+    and the on-disk cache (and what makes benchmark trajectories
+    machine-readable).
+
+    ``status`` distinguishes how the run ended: ``"exit"`` (normal
+    termination), ``"violation"`` (an instrumentation check fired,
+    ``violation_kind`` says which), ``"fault"`` (simulated hardware
+    trap), ``"abort"``, or ``"failed"`` (the job itself crashed or
+    timed out; ``failure`` carries the reason and every counter is 0).
+    """
+
     workload: str
     label: str
     extension_point: str
@@ -69,15 +89,31 @@ class BenchResult:
     shadow_stack_ops: int
     lowfat_fallbacks: int
     static: TargetStatistics
+    status: str = "exit"
+    violation_kind: str = ""
+    failure: str = ""
+    lowfat_allocs: int = 0
+    opcode_counts: Dict[str, int] = field(default_factory=dict)
 
     @staticmethod
-    def from_run(workload: Workload, label: str, ep: str,
-                 program: CompiledProgram, stats: RuntimeStats,
-                 ok: bool, describe: str, output: List[str]) -> "BenchResult":
+    def from_run(workload, label: str, ep: str,
+                 program: CompiledProgram, run: RunResult,
+                 output_ok: bool = True) -> "BenchResult":
+        stats = run.stats
+        if run.violation is not None:
+            status, violation_kind = "violation", run.violation.kind
+        elif run.fault is not None:
+            status, violation_kind = "fault", ""
+        elif run.abort is not None:
+            status, violation_kind = "abort", ""
+        else:
+            status, violation_kind = "exit", ""
         return BenchResult(
-            workload=workload.name, label=label, extension_point=ep,
+            workload=getattr(workload, "name", workload),
+            label=label, extension_point=ep,
             cycles=stats.cycles, instructions=stats.instructions,
-            output=output, ok=ok, describe=describe,
+            output=list(run.output), ok=run.ok and output_ok,
+            describe=run.describe(),
             checks_executed=stats.checks_executed,
             checks_wide=stats.checks_wide,
             unsafe_percent=stats.unsafe_percent,
@@ -86,59 +122,46 @@ class BenchResult:
             shadow_stack_ops=stats.shadow_stack_ops,
             lowfat_fallbacks=stats.lowfat_fallback_allocs,
             static=program.instrumentation,
+            status=status, violation_kind=violation_kind,
+            lowfat_allocs=stats.lowfat_allocs,
+            opcode_counts=dict(stats.opcode_counts),
         )
 
-
-class Runner:
-    """Compiles and runs workloads, caching results per configuration."""
-
-    def __init__(self, max_instructions: int = MAX_INSTRUCTIONS):
-        self.max_instructions = max_instructions
-        self._cache: Dict[Tuple[str, str, str], BenchResult] = {}
-        self._reference_output: Dict[str, List[str]] = {}
-
-    def run(
-        self,
-        workload: Workload,
-        label: str,
-        extension_point: str = "VectorizerStart",
-    ) -> BenchResult:
-        key = (workload.name, label, extension_point)
-        cached = self._cache.get(key)
-        if cached is not None:
-            return cached
-        config = config_for(label)
-        options = CompileOptions(
-            extension_point=extension_point,
-            obfuscate_pointer_copies=tuple(workload.obfuscated_units),
+    @staticmethod
+    def failed(workload, label: str, ep: str, failure: str) -> "BenchResult":
+        """A structured failure: the job crashed or exceeded its time
+        limit.  The run as a whole survives; this result records why
+        the cell is missing."""
+        return BenchResult(
+            workload=getattr(workload, "name", workload),
+            label=label, extension_point=ep,
+            cycles=0, instructions=0, output=[], ok=False,
+            describe=f"failed: {failure}",
+            checks_executed=0, checks_wide=0, unsafe_percent=0.0,
+            invariant_checks=0, trie_loads=0, trie_stores=0,
+            shadow_stack_ops=0, lowfat_fallbacks=0,
+            static=TargetStatistics(),
+            status="failed", failure=failure,
         )
-        if config is None:
-            program = compile_program(workload.sources, options=options)
-        else:
-            program = compile_program(workload.sources, config, options)
-        run = run_program(program, max_instructions=self.max_instructions)
-        reference = self._reference_output.get(workload.name)
-        if label == "baseline" and run.ok:
-            self._reference_output[workload.name] = list(run.output)
-            output_ok = True
-        else:
-            output_ok = reference is None or run.output == reference
-        result = BenchResult.from_run(
-            workload, label, extension_point, program, run.stats,
-            ok=run.ok and output_ok, describe=run.describe(),
-            output=list(run.output),
-        )
-        self._cache[key] = result
-        return result
 
-    def baseline(self, workload: Workload) -> BenchResult:
-        return self.run(workload, "baseline")
+    def to_json(self) -> dict:
+        """Plain-data representation; ``from_json`` inverts it exactly."""
+        return asdict(self)
 
-    def overhead(self, workload: Workload, label: str,
-                 extension_point: str = "VectorizerStart") -> float:
-        base = self.baseline(workload)
-        inst = self.run(workload, label, extension_point)
-        return inst.cycles / base.cycles if base.cycles else math.inf
+    @staticmethod
+    def from_json(data: dict) -> "BenchResult":
+        data = dict(data)
+        static = data["static"]
+        if not isinstance(static, TargetStatistics):
+            data["static"] = TargetStatistics(
+                gathered_checks=static["gathered_checks"],
+                gathered_invariants=static["gathered_invariants"],
+                filtered_checks=static["filtered_checks"],
+                by_kind=dict(static["by_kind"]),
+            )
+        data["output"] = list(data["output"])
+        data["opcode_counts"] = dict(data["opcode_counts"])
+        return BenchResult(**data)
 
 
 def geomean(values: Iterable[float]) -> float:
@@ -159,3 +182,24 @@ def format_table(headers: List[str], rows: List[List[str]]) -> str:
     lines = [fmt(headers), fmt(["-" * w for w in widths])]
     lines.extend(fmt(row) for row in rows)
     return "\n".join(lines)
+
+
+# The engine lives in .runner (which itself imports BenchResult and
+# config_for from this module); re-export it lazily under its
+# historical name so the import works regardless of which module is
+# loaded first.
+def __getattr__(name):
+    if name in ("Runner", "ExperimentEngine", "JobRequest"):
+        from .runner import ExperimentEngine, JobRequest
+
+        globals()["ExperimentEngine"] = ExperimentEngine
+        globals()["Runner"] = ExperimentEngine
+        globals()["JobRequest"] = JobRequest
+        return globals()[name]
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "BenchResult", "CONFIG_LABELS", "ExperimentEngine", "JobRequest",
+    "MAX_INSTRUCTIONS", "Runner", "config_for", "format_table", "geomean",
+]

@@ -17,17 +17,34 @@ removed by dead-code elimination.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional, Sequence
 
-from ..workloads import all_workloads
-from .common import Runner, format_table, geomean
+from ..workloads import Workload, all_workloads
+from .common import JobRequest, Runner, format_table, geomean
 
 APPROACH = "softbound"
 
 
-def collect(runner: Runner, approach: str) -> Dict[str, Dict[str, float]]:
+def requests_for(approach: str,
+                 workloads: Optional[Sequence[Workload]] = None
+                 ) -> List[JobRequest]:
+    workloads = all_workloads() if workloads is None else list(workloads)
+    labels = (approach, f"{approach}-unopt", f"{approach}-meta")
+    return [JobRequest(workload, label)
+            for workload in workloads for label in labels]
+
+
+def requests(workloads: Optional[Sequence[Workload]] = None) -> List[JobRequest]:
+    return requests_for(APPROACH, workloads)
+
+
+def collect(runner: Runner, approach: str,
+            workloads: Optional[Sequence[Workload]] = None
+            ) -> Dict[str, Dict[str, float]]:
+    workloads = all_workloads() if workloads is None else list(workloads)
+    runner.prefetch(requests_for(approach, workloads))
     data: Dict[str, Dict[str, float]] = {}
-    for workload in all_workloads():
+    for workload in workloads:
         data[workload.name] = {
             "optimized": runner.overhead(workload, approach),
             "unoptimized": runner.overhead(workload, f"{approach}-unopt"),
@@ -36,9 +53,10 @@ def collect(runner: Runner, approach: str) -> Dict[str, Dict[str, float]]:
     return data
 
 
-def generate_for(approach: str, title: str, runner: Runner = None) -> str:
+def generate_for(approach: str, title: str, runner: Runner = None,
+                 workloads: Optional[Sequence[Workload]] = None) -> str:
     runner = runner or Runner()
-    data = collect(runner, approach)
+    data = collect(runner, approach, workloads)
     headers = ["benchmark", "optimized", "unoptimized", "metadata only"]
     rows: List[List[str]] = []
     for name, d in data.items():
@@ -53,12 +71,14 @@ def generate_for(approach: str, title: str, runner: Runner = None) -> str:
     return title + "\n\n" + format_table(headers, rows)
 
 
-def generate(runner: Runner = None) -> str:
+def generate(runner: Runner = None,
+             workloads: Optional[Sequence[Workload]] = None) -> str:
     return generate_for(
         APPROACH,
         "Figure 10: SoftBound optimized / unoptimized / metadata-only "
         "overhead vs -O3",
         runner,
+        workloads,
     )
 
 

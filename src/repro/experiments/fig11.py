@@ -8,16 +8,25 @@ dereference checks -- the paper's "only metadata propagation" series.
 
 from __future__ import annotations
 
-from .common import Runner
-from .fig10 import generate_for
+from typing import List, Optional, Sequence
+
+from ..workloads import Workload
+from .common import JobRequest, Runner
+from .fig10 import generate_for, requests_for
 
 
-def generate(runner: Runner = None) -> str:
+def requests(workloads: Optional[Sequence[Workload]] = None) -> List[JobRequest]:
+    return requests_for("lowfat", workloads)
+
+
+def generate(runner: Runner = None,
+             workloads: Optional[Sequence[Workload]] = None) -> str:
     return generate_for(
         "lowfat",
         "Figure 11: Low-Fat Pointers optimized / unoptimized / "
         "metadata-only overhead vs -O3",
         runner,
+        workloads,
     )
 
 

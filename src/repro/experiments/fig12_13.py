@@ -15,16 +15,33 @@ checked; the two late points are comparable.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional, Sequence
 
 from ..opt.pipeline import EXTENSION_POINTS
-from ..workloads import all_workloads
-from .common import Runner, format_table, geomean
+from ..workloads import Workload, all_workloads
+from .common import JobRequest, Runner, format_table, geomean
 
 
-def collect(runner: Runner, approach: str) -> Dict[str, Dict[str, float]]:
+def requests_for(approach: str,
+                 workloads: Optional[Sequence[Workload]] = None
+                 ) -> List[JobRequest]:
+    workloads = all_workloads() if workloads is None else list(workloads)
+    return [JobRequest(workload, approach, extension_point=ep)
+            for workload in workloads for ep in EXTENSION_POINTS]
+
+
+def requests(workloads: Optional[Sequence[Workload]] = None) -> List[JobRequest]:
+    return (requests_for("softbound", workloads)
+            + requests_for("lowfat", workloads))
+
+
+def collect(runner: Runner, approach: str,
+            workloads: Optional[Sequence[Workload]] = None
+            ) -> Dict[str, Dict[str, float]]:
+    workloads = all_workloads() if workloads is None else list(workloads)
+    runner.prefetch(requests_for(approach, workloads))
     data: Dict[str, Dict[str, float]] = {}
-    for workload in all_workloads():
+    for workload in workloads:
         data[workload.name] = {
             ep: runner.overhead(workload, approach, extension_point=ep)
             for ep in EXTENSION_POINTS
@@ -32,9 +49,10 @@ def collect(runner: Runner, approach: str) -> Dict[str, Dict[str, float]]:
     return data
 
 
-def generate_for(approach: str, figure: str, runner: Runner = None) -> str:
+def generate_for(approach: str, figure: str, runner: Runner = None,
+                 workloads: Optional[Sequence[Workload]] = None) -> str:
     runner = runner or Runner()
-    data = collect(runner, approach)
+    data = collect(runner, approach, workloads)
     headers = ["benchmark"] + list(EXTENSION_POINTS)
     rows: List[List[str]] = []
     for name, d in data.items():
@@ -50,12 +68,14 @@ def generate_for(approach: str, figure: str, runner: Runner = None) -> str:
     return title + "\n\n" + format_table(headers, rows)
 
 
-def generate_fig12(runner: Runner = None) -> str:
-    return generate_for("softbound", "12", runner)
+def generate_fig12(runner: Runner = None,
+                   workloads: Optional[Sequence[Workload]] = None) -> str:
+    return generate_for("softbound", "12", runner, workloads)
 
 
-def generate_fig13(runner: Runner = None) -> str:
-    return generate_for("lowfat", "13", runner)
+def generate_fig13(runner: Runner = None,
+                   workloads: Optional[Sequence[Workload]] = None) -> str:
+    return generate_for("lowfat", "13", runner, workloads)
 
 
 def main() -> None:

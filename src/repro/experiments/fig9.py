@@ -11,16 +11,26 @@ of 183equake, SoftBound wins on check-dense 186crafty.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional, Sequence
 
-from ..workloads import all_workloads
-from .common import Runner, format_table, geomean
+from ..workloads import Workload, all_workloads
+from .common import JobRequest, Runner, format_table, geomean
 
 
-def collect(runner: Runner = None) -> Dict[str, Dict[str, float]]:
+def requests(workloads: Optional[Sequence[Workload]] = None) -> List[JobRequest]:
+    workloads = all_workloads() if workloads is None else list(workloads)
+    return [JobRequest(workload, label)
+            for workload in workloads for label in ("softbound", "lowfat")]
+
+
+def collect(runner: Runner = None,
+            workloads: Optional[Sequence[Workload]] = None
+            ) -> Dict[str, Dict[str, float]]:
     runner = runner or Runner()
+    workloads = all_workloads() if workloads is None else list(workloads)
+    runner.prefetch(requests(workloads))
     data: Dict[str, Dict[str, float]] = {}
-    for workload in all_workloads():
+    for workload in workloads:
         data[workload.name] = {
             "softbound": runner.overhead(workload, "softbound"),
             "lowfat": runner.overhead(workload, "lowfat"),
@@ -28,9 +38,10 @@ def collect(runner: Runner = None) -> Dict[str, Dict[str, float]]:
     return data
 
 
-def generate(runner: Runner = None) -> str:
+def generate(runner: Runner = None,
+             workloads: Optional[Sequence[Workload]] = None) -> str:
     runner = runner or Runner()
-    data = collect(runner)
+    data = collect(runner, workloads)
     headers = ["benchmark", "SoftBound", "Low-Fat"]
     rows: List[List[str]] = []
     for name, overheads in data.items():

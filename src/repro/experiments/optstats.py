@@ -8,19 +8,30 @@ compiler removes dominated duplicate checks on its own).
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional, Sequence
 
-from ..workloads import all_workloads
-from .common import Runner, format_table, geomean
+from ..workloads import Workload, all_workloads
+from .common import JobRequest, Runner, format_table, geomean
+
+LABELS = ("softbound", "softbound-unopt", "lowfat", "lowfat-unopt")
 
 
-def generate(runner: Runner = None) -> str:
+def requests(workloads: Optional[Sequence[Workload]] = None) -> List[JobRequest]:
+    workloads = all_workloads() if workloads is None else list(workloads)
+    return [JobRequest(workload, label)
+            for workload in workloads for label in LABELS]
+
+
+def generate(runner: Runner = None,
+             workloads: Optional[Sequence[Workload]] = None) -> str:
     runner = runner or Runner()
+    workloads = all_workloads() if workloads is None else list(workloads)
+    runner.prefetch(requests(workloads))
     headers = ["benchmark", "checks", "removed", "removed %",
                "SB unopt", "SB opt", "LF unopt", "LF opt"]
     rows: List[List[str]] = []
     fractions = []
-    for workload in all_workloads():
+    for workload in workloads:
         opt = runner.run(workload, "softbound")
         static = opt.static
         fraction = 100.0 * static.filtered_fraction

@@ -1,60 +1,109 @@
 """Full evaluation report: regenerate every table and figure.
 
-``python -m repro.experiments.report [output.md]`` runs the complete
-evaluation (sharing one result cache across experiments) and writes a
-Markdown report; without an argument it prints to stdout.
+``python -m repro report`` (or ``python -m repro.experiments.report``)
+runs the complete evaluation and writes a Markdown report.  All
+experiment modules share one execution engine: the report first
+collects every module's job matrix, resolves it in a single wave
+(``--jobs N`` fans the jobs out over worker processes, the on-disk
+cache makes a rerun near-instant), then renders the sections from the
+memoized results.
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
 import time
+from typing import List, Optional, Sequence
 
-from . import ablation, breakdown, fig9, fig10, fig11, fig12_13, optstats, table1, table2
-from .common import Runner
+from ..workloads import Workload
+from . import (
+    ablation, breakdown, fig9, fig10, fig11, fig12_13, optstats,
+    table1, table2,
+)
+from .common import JobRequest, Runner
+from .runner import add_engine_arguments, engine_from_args, workloads_from_args
+
+_REQUEST_PRODUCERS = (
+    table1.requests,
+    table2.requests,
+    fig9.requests,
+    fig10.requests,
+    fig11.requests,
+    fig12_13.requests,
+    optstats.requests,
+    breakdown.requests,
+    ablation.requests,
+)
 
 
-def generate(runner: Runner = None) -> str:
+def all_requests(
+    workloads: Optional[Sequence[Workload]] = None,
+) -> List[JobRequest]:
+    """Union of every experiment module's job matrix (the engine
+    dedupes overlapping cells by cache key)."""
+    requests: List[JobRequest] = []
+    for producer in _REQUEST_PRODUCERS:
+        requests.extend(producer(workloads))
+    return requests
+
+
+def generate(runner: Runner = None,
+             workloads: Optional[Sequence[Workload]] = None,
+             timing: bool = True) -> str:
     runner = runner or Runner()
-    sections = []
     start = time.time()
-    for producer in (
-        table1.generate,
-        table2.generate,
-        fig9.generate,
-        fig10.generate,
-        fig11.generate,
-        fig12_13.generate_fig12,
-        fig12_13.generate_fig13,
-        lambda r=runner: optstats.generate(r),
-        lambda r=runner: breakdown.generate(r),
-        lambda r=runner: ablation.generate(r),
-    ):
-        try:
-            sections.append(producer(runner))
-        except TypeError:
-            sections.append(producer())
+    runner.prefetch(all_requests(workloads))
+    sections = [
+        table1.generate(runner, workloads),
+        table2.generate(runner, workloads),
+        fig9.generate(runner, workloads),
+        fig10.generate(runner, workloads),
+        fig11.generate(runner, workloads),
+        fig12_13.generate_fig12(runner, workloads),
+        fig12_13.generate_fig13(runner, workloads),
+        optstats.generate(runner, workloads),
+        breakdown.generate(runner, workloads),
+        ablation.generate(runner, workloads),
+    ]
     elapsed = time.time() - start
     header = (
         "# Evaluation report\n\n"
         "Regenerated tables and figures of 'Memory Safety "
         "Instrumentations in Practice' (CGO'25) on the deterministic "
         "VM substrate.\n"
-        f"(wall time: {elapsed:.0f}s)\n"
     )
+    if timing:
+        header += f"(wall time: {elapsed:.0f}s)\n"
     body = "\n\n".join(f"```\n{section}\n```" for section in sections)
     return header + "\n" + body + "\n"
 
 
-def main() -> None:
-    report = generate()
-    if len(sys.argv) > 1:
-        with open(sys.argv[1], "w") as handle:
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro report",
+        description="regenerate the full evaluation report",
+    )
+    parser.add_argument("output", nargs="?", default=None,
+                        help="output file (default: stdout)")
+    add_engine_arguments(parser)
+    args = parser.parse_args(argv)
+    try:
+        workloads = workloads_from_args(args)
+    except ValueError as exc:
+        parser.error(str(exc))
+    engine = engine_from_args(args)
+    report = generate(engine, workloads)
+    if args.output:
+        with open(args.output, "w") as handle:
             handle.write(report)
-        print(f"report written to {sys.argv[1]}")
+        print(f"report written to {args.output}")
     else:
         print(report)
+    print(f"[engine] {engine.executed_jobs} jobs executed, "
+          f"{engine.cache_hits} served from cache", file=sys.stderr)
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

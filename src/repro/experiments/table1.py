@@ -9,11 +9,11 @@ return/cast invariants), which are exactly the rows of Table 1.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional, Sequence
 
 from ..core.itarget import TargetKind
-from ..workloads import all_workloads
-from .common import Runner, format_table
+from ..workloads import Workload, all_workloads
+from .common import JobRequest, Runner, format_table
 
 KIND_COLUMNS = [
     (TargetKind.CHECK_DEREF, "deref checks"),
@@ -24,11 +24,19 @@ KIND_COLUMNS = [
 ]
 
 
-def generate(runner: Runner = None) -> str:
+def requests(workloads: Optional[Sequence[Workload]] = None) -> List[JobRequest]:
+    workloads = all_workloads() if workloads is None else list(workloads)
+    return [JobRequest(workload, "softbound") for workload in workloads]
+
+
+def generate(runner: Runner = None,
+             workloads: Optional[Sequence[Workload]] = None) -> str:
     runner = runner or Runner()
+    workloads = all_workloads() if workloads is None else list(workloads)
+    runner.prefetch(requests(workloads))
     headers = ["benchmark"] + [label for _, label in KIND_COLUMNS] + ["total"]
     rows: List[List[str]] = []
-    for workload in all_workloads():
+    for workload in workloads:
         result = runner.run(workload, "softbound")
         by_kind = result.static.by_kind
         counts = [by_kind.get(kind, 0) for kind, _ in KIND_COLUMNS]

@@ -13,10 +13,10 @@ suffers ~62% unchecked under SoftBound (size-less arrays everywhere),
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional, Sequence
 
-from ..workloads import all_workloads
-from .common import Runner, format_table
+from ..workloads import Workload, all_workloads
+from .common import JobRequest, Runner, format_table
 
 
 def _cell(percent: float, wide_count: int) -> str:
@@ -24,11 +24,20 @@ def _cell(percent: float, wide_count: int) -> str:
     return f"{percent:.2f}{star}"
 
 
-def generate(runner: Runner = None) -> str:
+def requests(workloads: Optional[Sequence[Workload]] = None) -> List[JobRequest]:
+    workloads = all_workloads() if workloads is None else list(workloads)
+    return [JobRequest(workload, label)
+            for workload in workloads for label in ("softbound", "lowfat")]
+
+
+def generate(runner: Runner = None,
+             workloads: Optional[Sequence[Workload]] = None) -> str:
     runner = runner or Runner()
+    workloads = all_workloads() if workloads is None else list(workloads)
+    runner.prefetch(requests(workloads))
     headers = ["benchmark", "SB %", "LF %", "size-zero decls"]
     rows: List[List[str]] = []
-    for workload in all_workloads():
+    for workload in workloads:
         sb = runner.run(workload, "softbound")
         lf = runner.run(workload, "lowfat")
         rows.append([

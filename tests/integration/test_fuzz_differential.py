@@ -3,18 +3,27 @@ must produce identical output
 
 * at -O0 and -O3 (compiler soundness),
 * under SoftBound and Low-Fat instrumentation (instrumentation
-  transparency: a sanitizer must not change defined behaviour).
+  transparency: a sanitizer must not change defined behaviour),
+* through the cached parallel experiment engine (harness soundness:
+  worker transport and the disk cache must not change any observable
+  result).
 
 The generator only emits defined behaviour: array indices are masked
 into bounds, divisors are forced nonzero, shift amounts are masked, and
 loops have constant trip counts.
 """
 
+import hashlib
+import tempfile
+
 import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro import CompileOptions, compile_and_run, compile_program, run_program
 from repro.core import InstrumentationConfig
+from repro.experiments.cache import ResultCache
+from repro.experiments.runner import ExperimentEngine, JobRequest
+from repro.workloads import Workload
 
 VARS = ["v0", "v1", "v2", "v3"]
 ARRAYS = [("arr", 16), ("grid", 8)]
@@ -124,6 +133,52 @@ def test_instrumentation_transparency(source):
         result = compile_and_run(source, config, max_instructions=5_000_000)
         assert result.ok, f"{config.approach}: {result.describe()}"
         assert result.output == baseline.output
+
+
+#: Shared across all fuzz examples: worker pool startup and the disk
+#: cache are part of what this oracle exercises.
+_FUZZ_ENGINE = ExperimentEngine(
+    jobs=2,
+    cache=ResultCache(tempfile.mkdtemp(prefix="repro-fuzz-cache-")),
+)
+
+_ENGINE_FUZZ_SETTINGS = settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@given(programs())
+@_ENGINE_FUZZ_SETTINGS
+def test_engine_oracle(source):
+    """Third oracle: the cached parallel engine must agree with a
+    direct ``compile_and_run`` on output *and* every counter."""
+    workload = Workload(
+        name=f"fuzz-{hashlib.sha256(source.encode()).hexdigest()[:12]}",
+        sources={"fuzz.c": source},
+        description="generated fuzz program",
+    )
+    results = _FUZZ_ENGINE.run_many([
+        JobRequest(workload, label)
+        for label in ("baseline", "softbound", "lowfat")
+    ])
+    for engine_result in results:
+        assert engine_result.ok, \
+            f"{engine_result.label}: {engine_result.describe}"
+        if engine_result.label == "baseline":
+            direct = compile_and_run(source, max_instructions=5_000_000)
+        else:
+            config = (InstrumentationConfig.softbound(opt_dominance=True)
+                      if engine_result.label == "softbound"
+                      else InstrumentationConfig.lowfat(opt_dominance=True))
+            direct = compile_and_run(source, config,
+                                     max_instructions=5_000_000)
+        assert engine_result.output == direct.output
+        assert engine_result.cycles == direct.stats.cycles
+        assert engine_result.instructions == direct.stats.instructions
+        assert engine_result.checks_executed == direct.stats.checks_executed
+        assert engine_result.checks_wide == direct.stats.checks_wide
 
 
 @given(programs())
