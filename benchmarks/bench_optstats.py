@@ -1,4 +1,4 @@
-"""Section 5.3 bench: dominance check elimination (static + runtime)."""
+"""Section 5.3 bench: static check elimination (dominance + ranges)."""
 
 import pytest
 
@@ -8,7 +8,8 @@ PAIRED = ("256bzip2", "197parser", "183equake", "177mesa")
 
 
 @pytest.mark.parametrize("name", PAIRED)
-@pytest.mark.parametrize("label", ["softbound", "softbound-unopt"])
+@pytest.mark.parametrize("label",
+                         ["softbound", "softbound-unopt", "softbound-ranges"])
 def test_opt_vs_unopt(benchmark, name, label):
     benchmark.group = f"optstats:{name}"
     run_benchmark(benchmark, name, label)
@@ -24,8 +25,10 @@ def test_print_optstats(benchmark, runner, capsys):
         print()
         print(table)
     # shape: a significant static fraction of checks is removed, and
-    # the runtime gain is minor (the compiler removes duplicates too)
+    # the runtime gain is minor (the compiler removes duplicates too);
+    # the range filter then removes strictly more on top
     fractions = []
+    range_hits = 0
     for workload in all_workloads():
         result = runner.run(workload, "softbound")
         fractions.append(result.static.filtered_fraction)
@@ -33,4 +36,9 @@ def test_print_optstats(benchmark, runner, capsys):
         opt = runner.overhead(workload, "softbound")
         assert opt <= unopt + 1e-9
         assert unopt - opt < 0.25          # minor runtime impact
+        ranged = runner.run(workload, "softbound-ranges")
+        if ranged.static.range_filtered_checks:
+            range_hits += 1
+        assert ranged.checks_executed <= result.checks_executed
     assert max(fractions) > 0.2            # up to tens of percent removed
+    assert range_hits >= 10                # ranges bite on most workloads

@@ -1,13 +1,27 @@
-"""Program analyses: CFG utilities, dominators, natural loops."""
+"""Program analyses: CFG utilities, dominators, natural loops, and the
+forward-dataflow layer (value ranges, pointer provenance, lint)."""
 
 from .cfg import predecessor_map, reachable_blocks, reverse_postorder
+from .dataflow import DataflowClient, ForwardDataflow
 from .dominators import DominatorTree
 from .loops import Loop, LoopInfo
+from .ranges import (
+    FunctionRangeAnalysis,
+    IntRange,
+    PtrFact,
+    ReturnSummaries,
+)
 
 __all__ = [
+    "DataflowClient",
     "DominatorTree",
+    "ForwardDataflow",
+    "FunctionRangeAnalysis",
+    "IntRange",
     "Loop",
     "LoopInfo",
+    "PtrFact",
+    "ReturnSummaries",
     "predecessor_map",
     "reachable_blocks",
     "reverse_postorder",

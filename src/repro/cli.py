@@ -17,6 +17,13 @@ the parallel, disk-cached experiment engine::
     python -m repro table1 --jobs 4
     python -m repro report --jobs 4 --output report.md   # warm rerun is near-instant
     python -m repro fig9 --workloads 164gzip,183equake --no-cache
+
+``lint`` runs the static pitfall detectors (paper Section 4) over
+source files or bundled workloads, without executing anything::
+
+    python -m repro lint prog.c lib.c
+    python -m repro lint 164gzip 429mcf --format json
+    python -m repro lint --all-workloads
 """
 
 from __future__ import annotations
@@ -27,7 +34,7 @@ from typing import List, Optional
 
 from .core.config import InstrumentationConfig
 from .driver import CompileOptions, compile_program, run_program
-from .errors import ReproError
+from .errors import ConfigError, ReproError
 from .ir.printer import format_module
 from .opt.pipeline import EXTENSION_POINTS
 
@@ -93,6 +100,17 @@ def _build_parser() -> argparse.ArgumentParser:
     bench_p.add_argument("--compare-baseline", action="store_true",
                          help="also run uninstrumented and print overhead")
 
+    lint_p = sub.add_parser(
+        "lint",
+        help="statically flag the paper's Section 4 pitfalls",
+    )
+    lint_p.add_argument("targets", nargs="*",
+                        help="MiniC source files or workload names")
+    lint_p.add_argument("--all-workloads", action="store_true",
+                        help="lint every bundled workload")
+    lint_p.add_argument("--format", choices=("text", "json"),
+                        default="text", help="output format")
+
     from .experiments.runner import add_engine_arguments
 
     for name, (_, _, help_text) in EXPERIMENT_COMMANDS.items():
@@ -115,6 +133,49 @@ def _config_from(mi_flags: List[str]) -> InstrumentationConfig:
     if not mi_flags:
         return InstrumentationConfig(approach="noop")
     return InstrumentationConfig.from_flags(mi_flags)
+
+
+def _run_lint(args) -> int:
+    import json as json_mod
+
+    from .analysis import lint as lint_mod
+    from .workloads import all_names, get
+
+    targets = list(args.targets)
+    if args.all_workloads:
+        targets.extend(n for n in all_names() if n not in targets)
+    if not targets:
+        raise ConfigError(
+            "nothing to lint: pass source files, workload names, "
+            "or --all-workloads"
+        )
+
+    results = {}
+    for target in targets:
+        if target in all_names():
+            diagnostics = lint_mod.lint_workload(get(target))
+        else:
+            with open(target) as handle:
+                source = handle.read()
+            diagnostics = lint_mod.lint_sources({target: source})
+        results[target] = diagnostics
+
+    if args.format == "json":
+        payload = {
+            target: [d.to_dict() for d in diagnostics]
+            for target, diagnostics in results.items()
+        }
+        print(json_mod.dumps(payload, indent=2))
+    else:
+        total = 0
+        for target, diagnostics in results.items():
+            print(f"== {target}")
+            print(lint_mod.render_text(diagnostics))
+            total += len(diagnostics)
+        print(f"-- {total} finding(s) in {len(results)} target(s)")
+    # Findings are expected output, not an error: keep exit status 0 so
+    # pipelines can post-process the report.
+    return 0
 
 
 def _run_experiment(args, parser) -> int:
@@ -156,13 +217,29 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(rest)
     try:
         config = _config_from(mi_flags)
-    except ValueError as exc:
-        parser.error(str(exc))
+    except ReproError as exc:
+        # Unknown -mi-* flags and bad config values get a clean
+        # one-line diagnostic, not a traceback or a usage dump.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.command == "lint":
+        try:
+            return _run_lint(args)
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        except OSError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
 
     if args.command in EXPERIMENT_COMMANDS:
         try:
             return _run_experiment(args, parser)
         except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        except OSError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 1
 

@@ -1,7 +1,7 @@
 """MemInstrument core: the instrumentation framework (paper Section 3)."""
 
 from .config import InstrumentationConfig
-from .filters import dominance_filter
+from .filters import dominance_filter, range_filter
 from .gather import gather_function_targets
 from .instrument import (
     InstrumenterHandle,
@@ -26,6 +26,7 @@ __all__ = [
     "TargetStatistics",
     "dominance_filter",
     "gather_function_targets",
+    "range_filter",
     "instrument_module",
     "make_instrumenter",
 ]

@@ -9,6 +9,9 @@ artifact appendix (Section A.6):
   Figures 10 and 11)
 * ``-mi-opt-dominance`` -> ``opt_dominance`` (the check-elimination
   filter of Section 5.3)
+* ``-mi-opt-ranges`` -> ``opt_ranges`` (range-analysis based check
+  elimination; a reproduction extension beyond the paper's artifact,
+  composed after the dominance filter)
 * ``-mi-sb-size-zero-wide-upper`` -> wide upper bounds for size-less
   extern array declarations (Section 4.3)
 * ``-mi-sb-inttoptr-wide-bounds`` -> wide bounds for integer-to-pointer
@@ -23,6 +26,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Iterable, List
 
+from ..errors import ConfigError
+
 APPROACHES = ("softbound", "lowfat", "noop")
 MODES = ("full", "geninvariants")
 
@@ -32,6 +37,7 @@ class InstrumentationConfig:
     approach: str = "softbound"
     mode: str = "full"
     opt_dominance: bool = False
+    opt_ranges: bool = False
     sb_size_zero_wide_upper: bool = True
     sb_inttoptr_wide_bounds: bool = True
     sb_missing_metadata_wide: bool = False
@@ -41,9 +47,9 @@ class InstrumentationConfig:
 
     def __post_init__(self) -> None:
         if self.approach not in APPROACHES:
-            raise ValueError(f"unknown approach {self.approach!r}")
+            raise ConfigError(f"unknown approach {self.approach!r}")
         if self.mode not in MODES:
-            raise ValueError(f"unknown mode {self.mode!r}")
+            raise ConfigError(f"unknown mode {self.mode!r}")
 
     @property
     def insert_deref_checks(self) -> bool:
@@ -84,6 +90,8 @@ class InstrumentationConfig:
                 kwargs["mode"] = flag.split("=", 1)[1]
             elif flag == "-mi-opt-dominance":
                 kwargs["opt_dominance"] = True
+            elif flag == "-mi-opt-ranges":
+                kwargs["opt_ranges"] = True
             elif flag == "-mi-sb-size-zero-wide-upper":
                 kwargs["sb_size_zero_wide_upper"] = True
             elif flag == "-mi-sb-inttoptr-wide-bounds":
@@ -93,5 +101,5 @@ class InstrumentationConfig:
             elif flag == "-mi-policy-ignore-inline-asm":
                 kwargs["policy_ignore_inline_asm"] = True
             else:
-                raise ValueError(f"unknown MemInstrument flag {flag!r}")
+                raise ConfigError(f"unknown MemInstrument flag {flag!r}")
         return InstrumentationConfig(**kwargs)

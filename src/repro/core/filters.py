@@ -7,13 +7,21 @@ filter drops the dominated :class:`~repro.core.itarget.ITarget` before
 the mechanism ever emits code for it (8%--50% of static checks in the
 paper's benchmarks, with only minor runtime impact because the compiler
 can also remove the residual duplicates on its own).
+
+On top of that, ``range_filter`` (``-mi-opt-ranges``) goes beyond
+duplicate elimination: using the interprocedural value-range and
+pointer-provenance analysis it drops dereference checks whose access is
+*provably inside the witness allocation* on every execution -- no
+dominating twin required.  The soundness argument lives with the filter
+below (and in DESIGN.md).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..analysis.dominators import DominatorTree
+from ..analysis.ranges import FunctionRangeAnalysis, ReturnSummaries
 from ..ir.module import Function
 from .itarget import ITarget, TargetKind
 
@@ -52,5 +60,55 @@ def dominance_filter(
                     removed.add(id(candidate))
                     break
 
+    filtered = [t for t in targets if id(t) not in removed]
+    return filtered, len(removed)
+
+
+def range_filter(
+    fn: Function,
+    targets: List[ITarget],
+    summaries: Optional[ReturnSummaries] = None,
+) -> Tuple[List[ITarget], int]:
+    """Drop dereference checks the range analysis proves in bounds.
+
+    A ``CHECK_DEREF`` of ``width`` bytes is removed iff the analysis
+    derives a provenance fact ``(site, size, offset)`` for the pointer
+    at the check's program point with ``offset.lo >= 0`` and
+    ``offset.hi + width <= size``.  Why this is sound for both
+    instrumentations:
+
+    * the fact is a *may* interval covering every concrete execution
+      (transfer functions are wrap-sound, merges join, loops widen),
+      so the proof holds on all paths;
+    * proofs are against the *requested* allocation size.  Low-Fat
+      rounds sizes up to its region class, SoftBound records the exact
+      size -- in both cases the runtime bound is at least the
+      requested size, so a requested-size proof implies the dynamic
+      check would pass;
+    * temporal errors cannot hide behind a dropped check: both
+      mechanisms' dereference checks are purely spatial (a freed but
+      in-bounds pointer passes them anyway), so removing a provably
+      in-bounds check never masks a verdict the dynamic check would
+      have produced;
+    * the VM's ``malloc`` aborts rather than returning NULL, so an
+      allocation-site fact implies a valid base pointer.
+
+    Invariant targets (escapes into memory/calls/returns) are never
+    dropped -- metadata propagation must stay complete.  Returns the
+    filtered list and the number of checks removed.
+    """
+    if not any(t.kind == TargetKind.CHECK_DEREF for t in targets):
+        return targets, 0
+    analysis = FunctionRangeAnalysis(fn, summaries)
+    removed = set()
+    for target in targets:
+        if target.kind != TargetKind.CHECK_DEREF or target.pointer is None:
+            continue
+        fact = analysis.pointer_fact_before(target.instruction,
+                                            target.pointer)
+        if fact is not None and fact.proves_in_bounds(target.width):
+            removed.add(id(target))
+    if not removed:
+        return targets, 0
     filtered = [t for t in targets if id(t) not in removed]
     return filtered, len(removed)

@@ -19,10 +19,11 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional
 
+from ..analysis.ranges import ReturnSummaries
 from ..ir.module import Function, Module
 from ..ir.verifier import verify_module
 from .config import InstrumentationConfig
-from .filters import dominance_filter
+from .filters import dominance_filter, range_filter
 from .gather import gather_function_targets
 from .itarget import ITarget, TargetStatistics
 from .lf_mechanism import LowFatMechanism
@@ -55,17 +56,23 @@ class MemInstrumentPass:
         if mechanism is None:
             return
         mechanism.prepare_module(module)
+        # One summary table serves the whole module: the range filter's
+        # interprocedural component memoizes per-callee return ranges.
+        summaries = ReturnSummaries(module) if self.config.opt_ranges else None
         for fn in list(module.functions.values()):
             if fn.native or fn.is_declaration:
                 continue
             if "mi_ignore" in fn.attributes:
                 continue
-            self._instrument_function(mechanism, fn)
+            self._instrument_function(mechanism, fn, summaries)
         if self.verify:
             verify_module(module)
 
     def _instrument_function(
-        self, mechanism: InstrumentationMechanism, fn: Function
+        self,
+        mechanism: InstrumentationMechanism,
+        fn: Function,
+        summaries: Optional[ReturnSummaries] = None,
     ) -> None:
         mechanism.prepare_function(fn)
         targets = gather_function_targets(fn)
@@ -75,6 +82,9 @@ class MemInstrumentPass:
         if self.config.opt_dominance:
             targets, removed = dominance_filter(fn, targets)
             stats.filtered_checks = removed
+        if self.config.opt_ranges:
+            targets, removed = range_filter(fn, targets, summaries)
+            stats.range_filtered_checks = removed
         mechanism.instrument_function(fn, targets)
         self.per_function[fn.name] = stats
         self.statistics.merge(stats)

@@ -67,6 +67,7 @@ class TargetStatistics:
     gathered_checks: int = 0
     gathered_invariants: int = 0
     filtered_checks: int = 0
+    range_filtered_checks: int = 0
     by_kind: dict = field(default_factory=dict)
 
     def count(self, target: ITarget) -> None:
@@ -80,15 +81,23 @@ class TargetStatistics:
         self.gathered_checks += other.gathered_checks
         self.gathered_invariants += other.gathered_invariants
         self.filtered_checks += other.filtered_checks
+        self.range_filtered_checks += other.range_filtered_checks
         for kind, count in other.by_kind.items():
             self.by_kind[kind] = self.by_kind.get(kind, 0) + count
 
     @property
     def emitted_checks(self) -> int:
-        return self.gathered_checks - self.filtered_checks
+        return (self.gathered_checks - self.filtered_checks
+                - self.range_filtered_checks)
 
     @property
     def filtered_fraction(self) -> float:
         if not self.gathered_checks:
             return 0.0
         return self.filtered_checks / self.gathered_checks
+
+    @property
+    def range_filtered_fraction(self) -> float:
+        if not self.gathered_checks:
+            return 0.0
+        return self.range_filtered_checks / self.gathered_checks

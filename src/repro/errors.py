@@ -25,6 +25,14 @@ class ReproError(Exception):
     """Base class of all errors raised by this package."""
 
 
+class ConfigError(ReproError, ValueError):
+    """An invalid instrumentation flag or configuration value.
+
+    Subclasses :class:`ValueError` so programmatic users that predate
+    the dedicated class keep working; the CLI catches the
+    :class:`ReproError` side and prints a clean one-line message."""
+
+
 class CompileError(ReproError):
     """The frontend rejected a MiniC program."""
 

@@ -34,7 +34,7 @@ from .. import __version__
 
 #: Bump when the BenchResult JSON schema changes incompatibly; old
 #: entries then miss instead of deserializing garbage.
-CACHE_FORMAT_VERSION = 1
+CACHE_FORMAT_VERSION = 2
 
 #: Payload fields that do not influence the measured result: the
 #: reference output is itself a deterministic function of the keyed

@@ -30,11 +30,13 @@ MAX_INSTRUCTIONS = 50_000_000
 #: Named configurations used across the evaluation (paper Section 5).
 #: "optimized" = dominance check elimination on (the Figure 9 setting),
 #: "unoptimized" = all gathered checks emitted,
-#: "metadata" = -mi-mode=geninvariants (no dereference checks).
+#: "metadata" = -mi-mode=geninvariants (no dereference checks),
+#: "ranges" = dominance elimination plus the interprocedural
+#: value-range / pointer-provenance filter (-mi-opt-ranges).
 CONFIG_LABELS = (
     "baseline",
-    "softbound", "softbound-unopt", "softbound-meta",
-    "lowfat", "lowfat-unopt", "lowfat-meta",
+    "softbound", "softbound-unopt", "softbound-meta", "softbound-ranges",
+    "lowfat", "lowfat-unopt", "lowfat-meta", "lowfat-ranges",
 )
 
 
@@ -53,6 +55,8 @@ def config_for(label: str) -> Optional[InstrumentationConfig]:
         return base.with_(opt_dominance=False)
     if variant == "meta":
         return base.with_(mode="geninvariants", opt_dominance=False)
+    if variant == "ranges":
+        return base.with_(opt_dominance=True, opt_ranges=True)
     raise ValueError(f"unknown configuration label {label!r}")
 
 
@@ -157,6 +161,9 @@ class BenchResult:
                 gathered_checks=static["gathered_checks"],
                 gathered_invariants=static["gathered_invariants"],
                 filtered_checks=static["filtered_checks"],
+                # .get: cache entries written before the range filter
+                # existed lack the field.
+                range_filtered_checks=static.get("range_filtered_checks", 0),
                 by_kind=dict(static["by_kind"]),
             )
         data["output"] = list(data["output"])

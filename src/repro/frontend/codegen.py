@@ -309,6 +309,9 @@ class CodeGenerator:
         return self.builder.block.terminator is not None
 
     def _gen_stmt(self, stmt: ast.Stmt) -> None:
+        line = getattr(stmt, "line", None)
+        if line is not None:
+            self.builder.current_line = line
         if self._terminated():
             # Dead code after return/break: put it in a fresh block so
             # the IR stays well-formed; DCE removes it.

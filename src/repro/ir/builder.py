@@ -53,6 +53,11 @@ class IRBuilder:
     def __init__(self, block: Optional[BasicBlock] = None):
         self._block: Optional[BasicBlock] = None
         self._index: int = 0
+        #: When set, every inserted instruction is stamped with
+        #: ``meta["line"]`` -- the frontend points this at the source
+        #: line of the statement being lowered so diagnostics (e.g.
+        #: ``repro lint``) can name real source locations.
+        self.current_line: Optional[int] = None
         if block is not None:
             self.position_at_end(block)
 
@@ -89,6 +94,8 @@ class IRBuilder:
     def insert(self, inst: Instruction) -> Instruction:
         self.block.insert(self._index, inst)
         self._index += 1
+        if self.current_line is not None and "line" not in inst.meta:
+            inst.meta["line"] = self.current_line
         return inst
 
     # -- constants --------------------------------------------------------

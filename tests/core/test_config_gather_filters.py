@@ -8,7 +8,9 @@ from repro.core import (
     dominance_filter,
     gather_function_targets,
 )
+from repro.core.itarget import ITarget
 from repro.frontend import compile_source
+from repro.ir import parse_module
 from repro.opt import Mem2Reg, SimplifyCFG
 
 
@@ -161,6 +163,78 @@ class TestDominanceFilter:
         # the first load dominates both stores: both stores' checks are
         # dominated by the load's (same pointer, same width)
         assert removed == 2
+
+    def test_loop_carried_checks_not_removed_from_outside(self):
+        # the in-loop accesses are not dominated by anything outside
+        # the loop body; only the within-iteration duplicate may go
+        mod = _prepared(r"""
+        int g;
+        int main() {
+            int i = 0;
+            while (i < 3) { g = g + 1; i = i + 1; }
+            return g;
+        }""")
+        fn = mod.get_function("main")
+        targets = gather_function_targets(fn)
+        checks = [t for t in targets if t.is_check()]
+        assert len(checks) == 3  # load+store in the body, load after
+        filtered, removed = dominance_filter(fn, targets)
+        # only the body store (dominated by the body load of the same
+        # global in the same iteration) is redundant; the load after
+        # the loop is NOT dominated by the possibly-skipped body
+        assert removed == 1
+        survivors = [t for t in filtered if t.is_check()]
+        blocks = {t.instruction.parent for t in survivors}
+        assert len(blocks) == 2  # one in the loop body, one after it
+
+    def test_unreachable_block_checks_have_no_authority(self):
+        # hand-written IR: the "dead" block is unreachable.  Its check
+        # must neither crash the filter nor eliminate the reachable
+        # check (an unreachable "dominator" proves nothing).
+        mod = parse_module(r"""
+        @g = common global i32 zeroinitializer
+
+        define i32 @main() {
+        entry:
+          %a = load i32, i32* @g
+          ret i32 %a
+        dead:
+          %b = load i32, i32* @g
+          br %entry
+        }""")
+        fn = mod.get_function("main")
+        targets = gather_function_targets(fn)
+        assert len([t for t in targets if t.is_check()]) == 2
+        filtered, removed = dominance_filter(fn, targets)
+        assert removed == 0
+        reachable = [t for t in filtered
+                     if t.instruction.parent.name == "entry"]
+        assert len(reachable) == 1
+
+    def test_narrow_check_never_covers_wider_access(self):
+        # same pointer SSA value, distinct widths: a dominating 4-byte
+        # check must not stand in for a dominated 8-byte one, while the
+        # reverse direction is a valid elimination
+        mod = _prepared(r"""
+        long g;
+        int main() { g = 1; g = 2; return 0; }""")
+        fn = mod.get_function("main")
+        first, second = [t.instruction for t in gather_function_targets(fn)
+                         if t.is_check()]
+        pointer = first.pointer
+        narrow_first = [
+            ITarget(TargetKind.CHECK_DEREF, first, pointer, width=4),
+            ITarget(TargetKind.CHECK_DEREF, second, pointer, width=8),
+        ]
+        _, removed = dominance_filter(fn, narrow_first)
+        assert removed == 0
+        wide_first = [
+            ITarget(TargetKind.CHECK_DEREF, first, pointer, width=8),
+            ITarget(TargetKind.CHECK_DEREF, second, pointer, width=4),
+        ]
+        filtered, removed = dominance_filter(fn, wide_first)
+        assert removed == 1
+        assert filtered[0].width == 8  # the wider check survives
 
     def test_invariant_targets_unaffected(self):
         mod = _prepared(r"""

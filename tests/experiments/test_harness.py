@@ -26,6 +26,30 @@ class TestConfigLabels:
         cfg = config_for("lowfat-meta")
         assert cfg.mode == "geninvariants"
 
+    def test_ranges_labels(self):
+        for label in ("softbound-ranges", "lowfat-ranges"):
+            cfg = config_for(label)
+            assert cfg.opt_dominance and cfg.opt_ranges
+
+    def test_ranges_stat_round_trips_through_json(self):
+        from repro.experiments.common import BenchResult
+
+        runner = Runner()
+        result = runner.run(get("197parser"), "softbound-ranges")
+        assert result.static.range_filtered_checks > 0
+        restored = BenchResult.from_json(result.to_json())
+        assert (restored.static.range_filtered_checks
+                == result.static.range_filtered_checks)
+
+    def test_pre_ranges_cache_entry_defaults_to_zero(self):
+        # entries written before the range filter existed lack the field
+        from repro.experiments.common import BenchResult
+
+        runner = Runner()
+        payload = runner.run(get("197parser"), "softbound").to_json()
+        del payload["static"]["range_filtered_checks"]
+        assert BenchResult.from_json(payload).static.range_filtered_checks == 0
+
     def test_unknown_label(self):
         with pytest.raises(ValueError):
             config_for("lowfat-turbo")

@@ -83,9 +83,24 @@ class TestRun:
         assert main(["run", str(bad)]) == 1
         assert "error" in capsys.readouterr().err
 
-    def test_unknown_mi_flag_rejected(self, demo_c):
-        with pytest.raises(SystemExit):
-            main(["run", demo_c, "-mi-frobnicate"])
+    def test_unknown_mi_flag_rejected(self, demo_c, capsys):
+        # a clean one-line diagnostic and exit code 2 -- no traceback,
+        # no argparse usage dump
+        assert main(["run", demo_c, "-mi-frobnicate"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "-mi-frobnicate" in err
+        assert "Traceback" not in err
+
+    def test_bad_mi_config_value_rejected(self, demo_c, capsys):
+        assert main(["run", demo_c, "-mi-config=magic"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+
+    def test_opt_ranges_flag(self, demo_c, capsys):
+        assert main(["run", demo_c, "-mi-config=softbound",
+                     "-mi-opt-dominance", "-mi-opt-ranges"]) == 0
+        assert capsys.readouterr().out.strip() == "42"
 
 
 class TestEmit:
@@ -103,6 +118,54 @@ class TestEmit:
         text = capsys.readouterr().out
         mod = parse_module(text)
         verify_module(mod)
+
+
+class TestLint:
+    @pytest.fixture
+    def huge_c(self, tmp_path):
+        path = tmp_path / "huge.c"
+        path.write_text(r"""
+int main() {
+    char *big = (char *) malloc(1073741824);
+    big[0] = 1;
+    free((void*)big);
+    return 0;
+}
+""")
+        return str(path)
+
+    def test_lint_source_file(self, huge_c, capsys):
+        assert main(["lint", huge_c]) == 0
+        out = capsys.readouterr().out
+        assert "huge-allocation" in out
+        assert "paper section 4.6" in out
+
+    def test_lint_clean_file(self, demo_c, capsys):
+        assert main(["lint", demo_c]) == 0
+        out = capsys.readouterr().out
+        assert "no findings" in out
+        assert "0 finding(s)" in out
+
+    def test_lint_workload_by_name(self, capsys):
+        assert main(["lint", "456hmmer"]) == 0
+        out = capsys.readouterr().out
+        assert "inttoptr-roundtrip" in out
+
+    def test_lint_json_format(self, huge_c, capsys):
+        import json
+
+        assert main(["lint", huge_c, "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [d["code"] for d in payload[huge_c]] == ["huge-allocation"]
+
+    def test_lint_without_targets_errors(self, capsys):
+        assert main(["lint"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+
+    def test_lint_missing_file(self, capsys):
+        assert main(["lint", "/nonexistent.c"]) == 1
+        assert "error" in capsys.readouterr().err
 
 
 class TestBench:
