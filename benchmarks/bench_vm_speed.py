@@ -1,0 +1,163 @@
+"""Wall-clock engine benchmark: closure-compiled tier vs. tree-walker.
+
+Times both VM execution engines on the bundled workloads, verifies the
+runs are bit-identical (output and full ``RuntimeStats``) while it is
+at it, and writes the results to ``BENCH_vm.json`` at the repo root --
+the seed of the repo's performance trajectory.  Future PRs regress-
+check against the recorded geomean.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_vm_speed.py
+    PYTHONPATH=src python benchmarks/bench_vm_speed.py \
+        --workloads 164gzip,183equake,456hmmer --min-speedup 2
+
+Exit status is non-zero when any run pair diverges or the geomean
+speedup falls below ``--min-speedup`` (CI's perf-smoke gate).
+
+Timing methodology: each engine is timed as min-of-N fresh VM runs over
+a once-compiled program (compilation excluded).  The compiled tier gets
+more repeats than the tree-walker because its runs are cheap and the
+minimum filters scheduler noise; the tree-walker is the expensive
+denominator, and the geomean across workloads averages its noise out.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import math
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.driver import CompileOptions, compile_program, run_program  # noqa: E402
+from repro.experiments.common import config_for  # noqa: E402
+from repro.workloads import all_names, get  # noqa: E402
+
+MAX_INSTRUCTIONS = 100_000_000
+
+
+def _compile(workload, label):
+    config = config_for(label)
+    options = CompileOptions(
+        obfuscate_pointer_copies=tuple(workload.obfuscated_units)
+    )
+    if config is None:
+        return compile_program(workload.sources, options=options)
+    return compile_program(workload.sources, config, options)
+
+
+def _time_engine(program, engine, repeats):
+    """(best wall-clock seconds, last RunResult) over ``repeats`` runs."""
+    best = math.inf
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = run_program(program, max_instructions=MAX_INSTRUCTIONS,
+                             engine=engine)
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _identical(a, b):
+    """Field-for-field equality of two RunResults (the differential)."""
+    if a.output != b.output or a.exit_code != b.exit_code:
+        return False
+    if a.describe() != b.describe():
+        return False
+    return dataclasses.asdict(a.stats) == dataclasses.asdict(b.stats)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workloads", default=None, metavar="NAME[,NAME...]",
+                        help="comma-separated subset (default: all 20)")
+    parser.add_argument("--labels", default="baseline",
+                        metavar="LABEL[,LABEL...]",
+                        help="instrumentation configs to time "
+                             "(default: baseline, the pure engine measure)")
+    parser.add_argument("--output", default=str(REPO_ROOT / "BENCH_vm.json"),
+                        metavar="FILE", help="result file (default: "
+                        "BENCH_vm.json at the repo root)")
+    parser.add_argument("--repeats", type=int, default=3, metavar="N",
+                        help="timing repeats for the compiled tier "
+                             "(min-of-N; default 3)")
+    parser.add_argument("--interp-repeats", type=int, default=1, metavar="N",
+                        help="timing repeats for the tree-walker (default 1)")
+    parser.add_argument("--min-speedup", type=float, default=None, metavar="X",
+                        help="fail (exit 1) if the geomean speedup is below X")
+    args = parser.parse_args(argv)
+
+    known = list(all_names())
+    names = ([n.strip() for n in args.workloads.split(",") if n.strip()]
+             if args.workloads else known)
+    unknown = [n for n in names if n not in known]
+    if unknown:
+        parser.error(f"unknown workload(s): {', '.join(unknown)}")
+    labels = [l.strip() for l in args.labels.split(",") if l.strip()]
+
+    rows = []
+    mismatches = 0
+    for name in names:
+        workload = get(name)
+        for label in labels:
+            program = _compile(workload, label)
+            t_interp, r_interp = _time_engine(
+                program, "interp", args.interp_repeats)
+            t_compiled, r_compiled = _time_engine(
+                program, "compiled", args.repeats)
+            same = _identical(r_interp, r_compiled)
+            if not same:
+                mismatches += 1
+            speedup = t_interp / t_compiled if t_compiled else math.inf
+            rows.append({
+                "workload": name,
+                "label": label,
+                "interp_s": round(t_interp, 4),
+                "compiled_s": round(t_compiled, 4),
+                "speedup": round(speedup, 2),
+                "identical": same,
+            })
+            flag = "" if same else "  << STATS MISMATCH"
+            print(f"{name:12s} {label:10s} interp={t_interp:7.2f}s "
+                  f"compiled={t_compiled:6.2f}s speedup={speedup:5.2f}x{flag}",
+                  flush=True)
+
+    geomean = math.exp(sum(math.log(r["speedup"]) for r in rows) / len(rows))
+    print(f"{'GEOMEAN':12s} {'':10s} {'':>15s} {'':>15s} "
+          f"speedup={geomean:5.2f}x")
+
+    document = {
+        "benchmark": "vm-engine-speedup",
+        "description": "closure-compiled tier vs. reference tree-walker, "
+                       "min-of-N wall-clock per fresh VM run",
+        "max_instructions": MAX_INSTRUCTIONS,
+        "repeats": {"compiled": args.repeats, "interp": args.interp_repeats},
+        "python": sys.version.split()[0],
+        "results": rows,
+        "geomean_speedup": round(geomean, 2),
+    }
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+    print(f"written to {args.output}")
+
+    if mismatches:
+        print(f"error: {mismatches} run pair(s) diverged between engines",
+              file=sys.stderr)
+        return 1
+    if args.min_speedup is not None and geomean < args.min_speedup:
+        print(f"error: geomean speedup {geomean:.2f}x is below the "
+              f"required {args.min_speedup:g}x", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -71,9 +71,14 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    from .vm.interpreter import ENGINES
+
     def common(p):
         p.add_argument("-O", dest="opt_level", type=int, default=3,
                        choices=(0, 1, 2, 3), help="optimization level")
+        p.add_argument("--engine", default="compiled", choices=ENGINES,
+                       help="VM execution engine: the closure-compiled "
+                            "tier (default) or the reference tree-walker")
         p.add_argument("--extension-point", default="VectorizerStart",
                        choices=EXTENSION_POINTS,
                        help="where the instrumentation runs in the pipeline")
@@ -257,7 +262,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                 CompileOptions(**options_kwargs),
             )
             result = run_program(program, entry=args.entry,
-                                 max_instructions=args.max_instructions)
+                                 max_instructions=args.max_instructions,
+                                 engine=args.engine)
             for line in result.output:
                 print(line)
             if not result.ok:
@@ -292,7 +298,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                 **options_kwargs,
             )
             program = compile_program(workload.sources, config, opts)
-            result = run_program(program, max_instructions=100_000_000)
+            result = run_program(program, max_instructions=100_000_000,
+                                 engine=args.engine)
             print(f"{args.workload}: {result.describe()}  "
                   f"cycles={result.stats.cycles}")
             if result.stats.checks_executed:
@@ -300,7 +307,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                       f"({result.stats.unsafe_percent:.2f}% wide)")
             if args.compare_baseline:
                 base = compile_program(workload.sources, options=opts)
-                base_result = run_program(base, max_instructions=100_000_000)
+                base_result = run_program(base, max_instructions=100_000_000,
+                                          engine=args.engine)
                 print(f"baseline cycles={base_result.stats.cycles}  "
                       f"overhead={result.stats.cycles / base_result.stats.cycles:.2f}x")
             return 0 if result.ok else 1

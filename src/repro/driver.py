@@ -160,9 +160,12 @@ def make_vm(
     program: CompiledProgram,
     max_instructions: Optional[int] = 500_000_000,
     lf_region_capacity: Optional[int] = None,
+    engine: str = "compiled",
 ) -> VirtualMachine:
     """Create a VM with the runtime matching the program's config."""
-    vm = VirtualMachine(program.module, max_instructions=max_instructions)
+    vm = VirtualMachine(
+        program.module, max_instructions=max_instructions, engine=engine
+    )
     config = program.config
     if config.approach == "softbound":
         SoftBoundRuntime(
@@ -179,9 +182,10 @@ def run_program(
     entry: str = "main",
     max_instructions: Optional[int] = 500_000_000,
     lf_region_capacity: Optional[int] = None,
+    engine: str = "compiled",
 ) -> RunResult:
     """Run a compiled program, capturing safety reports and faults."""
-    vm = make_vm(program, max_instructions, lf_region_capacity)
+    vm = make_vm(program, max_instructions, lf_region_capacity, engine=engine)
     result = RunResult(None, vm.output, vm.stats)
     try:
         result.exit_code = vm.run(entry)

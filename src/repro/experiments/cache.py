@@ -38,9 +38,12 @@ CACHE_FORMAT_VERSION = 2
 
 #: Payload fields that do not influence the measured result: the
 #: reference output is itself a deterministic function of the keyed
-#: inputs (it is the baseline run's output), and the timeout only
-#: bounds the job's wall clock.
-_NON_KEY_FIELDS = ("reference_output", "timeout")
+#: inputs (it is the baseline run's output), the timeout only bounds
+#: the job's wall clock, and the VM execution engine is bit-identical
+#: by contract (the closure-compiled tier produces exactly the tree-
+#: walker's RuntimeStats), so results cached under either engine
+#: replay for both.
+_NON_KEY_FIELDS = ("reference_output", "timeout", "engine")
 
 
 def default_cache_dir() -> Path:

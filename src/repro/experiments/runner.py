@@ -104,7 +104,8 @@ def _execute_payload(payload: dict) -> BenchResult:
         program = compile_program(payload["sources"], config, options)
     run = run_program(program,
                       max_instructions=payload["max_instructions"],
-                      lf_region_capacity=payload["lf_region_capacity"])
+                      lf_region_capacity=payload["lf_region_capacity"],
+                      engine=payload.get("engine", "compiled"))
     reference = payload["reference_output"]
     if payload["label"] == "baseline" and run.ok:
         output_ok = True
@@ -165,12 +166,14 @@ class ExperimentEngine:
         max_instructions: int = MAX_INSTRUCTIONS,
         job_timeout: Optional[float] = None,
         verify_cache: bool = False,
+        vm_engine: str = "compiled",
     ):
         self.jobs = max(1, int(jobs))
         self.cache = cache
         self.max_instructions = max_instructions
         self.job_timeout = job_timeout
         self.verify_cache = verify_cache
+        self.vm_engine = vm_engine
         self.executed_jobs = 0
         self._memo: Dict[str, BenchResult] = {}
         self._payloads: Dict[str, dict] = {}
@@ -272,6 +275,7 @@ class ExperimentEngine:
             "lf_region_capacity": request.lf_region_capacity,
             "reference_output": None,
             "timeout": self.job_timeout,
+            "engine": self.vm_engine,
         }
 
     def _execute(self, pending: Dict[str, dict]) -> None:
@@ -372,6 +376,12 @@ def add_engine_arguments(parser) -> None:
     parser.add_argument(
         "--workloads", default=None, metavar="NAME[,NAME...]",
         help="restrict matrix experiments to these workloads")
+    from ..vm.interpreter import ENGINES
+
+    parser.add_argument(
+        "--engine", default="compiled", choices=ENGINES,
+        help="VM execution engine (bit-identical results; 'interp' is "
+             "the slow reference tree-walker)")
 
 
 def engine_from_args(args) -> ExperimentEngine:
@@ -383,6 +393,7 @@ def engine_from_args(args) -> ExperimentEngine:
         cache=cache,
         job_timeout=args.job_timeout,
         verify_cache=args.verify_cache,
+        vm_engine=getattr(args, "engine", "compiled"),
     )
 
 

@@ -668,7 +668,10 @@ class CodeGenerator:
         lhs, rhs, common = self._usual_conversions(lhs, rhs, line)
         if op in ("==", "!=", "<", "<=", ">", ">="):
             if common.is_float():
-                pred = {"==": "oeq", "!=": "one", "<": "olt",
+                # C's != is the *unordered* not-equal (NaN != NaN is
+                # true); the relational operators are ordered, exactly
+                # as clang lowers them.
+                pred = {"==": "oeq", "!=": "une", "<": "olt",
                         "<=": "ole", ">": "ogt", ">=": "oge"}[op]
                 cmp = self.builder.fcmp(pred, lhs.value, rhs.value)
             else:
@@ -854,7 +857,10 @@ class CodeGenerator:
             as_int = self.builder.ptrtoint(tv.value, I64)
             return self.builder.icmp("ne", as_int, ConstantInt(I64, 0))
         if tv.ctype.is_float():
-            return self.builder.fcmp("one", tv.value, ConstantFloat(tv.value.type, 0.0))
+            # C truthiness is `x != 0` with != being an *unordered*
+            # comparison: NaN is truthy.  `fcmp one` would make NaN
+            # falsy (ordered comparisons are false on NaN).
+            return self.builder.fcmp("une", tv.value, ConstantFloat(tv.value.type, 0.0))
         if tv.value.type == I1:
             return tv.value
         return self.builder.icmp("ne", tv.value, ConstantInt(tv.value.type, 0))

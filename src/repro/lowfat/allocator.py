@@ -108,6 +108,11 @@ class LowFatAllocator:
             # Fallback allocation: tombstone like a heap free.
             alloc.freed = True
             return
+        # Mark the (about-to-be-dead) object freed before unmapping so
+        # stale per-site caches in the compiled engine reject it via
+        # the cheap ``freed`` flag instead of a global epoch bump; the
+        # slot itself is recycled with a fresh Allocation on reuse.
+        alloc.freed = True
         self.memory.unmap(alloc)
         region = layout.region_index(alloc.base)
         self._free_stacks.setdefault(region, []).append(alloc.base)

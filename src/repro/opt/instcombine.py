@@ -189,15 +189,14 @@ class InstCombine(FunctionPass):
 
     def _simplify_fcmp(self, inst: FCmp) -> Optional[Value]:
         lhs, rhs = inst.lhs, inst.rhs
+        from ..ir.instructions import FCMP_EVAL
         from ..ir.types import I1
 
         if isinstance(lhs, ConstantFloat) and isinstance(rhs, ConstantFloat):
-            result = {
-                "oeq": lhs.value == rhs.value, "one": lhs.value != rhs.value,
-                "olt": lhs.value < rhs.value, "ole": lhs.value <= rhs.value,
-                "ogt": lhs.value > rhs.value, "oge": lhs.value >= rhs.value,
-            }[inst.predicate]
-            return ConstantInt(I1, int(result))
+            # FCMP_EVAL carries the full 14-predicate table with LLVM's
+            # ordered/unordered NaN semantics, so folding agrees with
+            # what either execution engine would compute at runtime.
+            return ConstantInt(I1, FCMP_EVAL[inst.predicate](lhs.value, rhs.value))
         return None
 
     def _simplify_cast(self, inst: Cast) -> Optional[Value]:
@@ -224,7 +223,10 @@ class InstCombine(FunctionPass):
             if op in ("fpext", "fptrunc") and isinstance(dst_ty, FloatType):
                 return ConstantFloat(dst_ty, value.value)
             if op == "fptosi" and isinstance(dst_ty, IntType):
-                return ConstantInt(dst_ty, int(value.value))
+                # int(NaN)/int(inf) raise; leave non-finite conversions
+                # to the runtime rather than crashing the compiler.
+                if math.isfinite(value.value):
+                    return ConstantInt(dst_ty, int(value.value))
         if isinstance(value, ConstantNull):
             if op == "bitcast" and isinstance(dst_ty, PointerType):
                 return ConstantNull(dst_ty)

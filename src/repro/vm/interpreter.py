@@ -17,6 +17,7 @@ the global placer so globals land in low-fat regions.
 
 from __future__ import annotations
 
+import operator
 import struct
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -28,6 +29,7 @@ from ..ir.instructions import (
     Call,
     Cast,
     CondBr,
+    FCMP_EVAL,
     FCmp,
     GEP,
     ICmp,
@@ -79,6 +81,20 @@ U64_MASK = (1 << 64) - 1
 _LOAD_COST = costs.INSTRUCTION_COSTS["load"]
 _STORE_COST = costs.INSTRUCTION_COSTS["store"]
 
+ENGINES = ("compiled", "interp")
+
+# Per-predicate comparison dispatch: one operator call per executed
+# icmp instead of building and indexing a ten-entry table.
+_ICMP_UNSIGNED = {
+    "eq": operator.eq, "ne": operator.ne,
+    "ult": operator.lt, "ule": operator.le,
+    "ugt": operator.gt, "uge": operator.ge,
+}
+_ICMP_SIGNED = {
+    "slt": operator.lt, "sle": operator.le,
+    "sgt": operator.gt, "sge": operator.ge,
+}
+
 
 class _ExitRequest(Exception):
     def __init__(self, code: int):
@@ -98,7 +114,11 @@ class VirtualMachine:
         stats: Optional[RuntimeStats] = None,
         max_instructions: Optional[int] = 500_000_000,
         install_default_libc: bool = True,
+        engine: str = "compiled",
     ):
+        if engine not in ENGINES:
+            raise VMError(f"unknown engine {engine!r} (expected one of {ENGINES})")
+        self.engine = engine
         self.module = module
         self.stats = stats or RuntimeStats()
         self.max_instructions = max_instructions
@@ -123,6 +143,8 @@ class VirtualMachine:
         self._frame_cleanups: List[List[Callable[[], None]]] = []
         self._exit_code: Optional[int] = None
         self._globals_loaded = False
+        # Lazy per-function closure-compilation cache (compiled engine).
+        self._compiled: Dict[Function, "CompiledFunction"] = {}
         if install_default_libc:
             install_libc(self)
 
@@ -229,6 +251,8 @@ class VirtualMachine:
                 return impl(self, args)
             raise VMError(f"call to undefined function @{fn.name}")
         self.stats.calls += 1
+        if self.engine == "compiled":
+            return self._run_function_compiled(fn, args)
         return self._run_function(fn, args)
 
     # -- the main loop -----------------------------------------------------------
@@ -240,6 +264,22 @@ class VirtualMachine:
         self._frame_cleanups.append([])
         try:
             return self._interpret(fn, frame)
+        finally:
+            for action in reversed(self._frame_cleanups.pop()):
+                action()
+            self.stack.pop_frame()
+
+    def _run_function_compiled(self, fn: Function, args: List) -> Optional[object]:
+        compiled = self._compiled.get(fn)
+        if compiled is None:
+            from .compile import CompiledFunction
+
+            compiled = CompiledFunction(self, fn)
+            self._compiled[fn] = compiled
+        self.stack.push_frame()
+        self._frame_cleanups.append([])
+        try:
+            return compiled.execute(args)
         finally:
             for action in reversed(self._frame_cleanups.pop()):
                 action()
@@ -435,28 +475,19 @@ class VirtualMachine:
         lhs = self._eval(inst.lhs, frame)
         rhs = self._eval(inst.rhs, frame)
         pred = inst.predicate
-        ty = inst.lhs.type
-        bits = ty.bits if isinstance(ty, IntType) else 64
-        if pred in ("slt", "sle", "sgt", "sge"):
+        op = _ICMP_SIGNED.get(pred)
+        if op is not None:
+            ty = inst.lhs.type
+            bits = ty.bits if isinstance(ty, IntType) else 64
             lhs, rhs = _to_signed(lhs, bits), _to_signed(rhs, bits)
-        table = {
-            "eq": lhs == rhs, "ne": lhs != rhs,
-            "slt": lhs < rhs, "sle": lhs <= rhs,
-            "sgt": lhs > rhs, "sge": lhs >= rhs,
-            "ult": lhs < rhs, "ule": lhs <= rhs,
-            "ugt": lhs > rhs, "uge": lhs >= rhs,
-        }
-        return 1 if table[pred] else 0
+        else:
+            op = _ICMP_UNSIGNED[pred]
+        return 1 if op(lhs, rhs) else 0
 
     def _fcmp(self, inst: FCmp, frame) -> int:
         lhs = self._eval(inst.lhs, frame)
         rhs = self._eval(inst.rhs, frame)
-        table = {
-            "oeq": lhs == rhs, "one": lhs != rhs,
-            "olt": lhs < rhs, "ole": lhs <= rhs,
-            "ogt": lhs > rhs, "oge": lhs >= rhs,
-        }
-        return 1 if table[inst.predicate] else 0
+        return FCMP_EVAL[inst.predicate](lhs, rhs)
 
     def _cast(self, inst: Cast, frame):
         value = self._eval(inst.value, frame)

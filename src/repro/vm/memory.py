@@ -150,9 +150,24 @@ class Memory:
     def __init__(self) -> None:
         self._bases: List[int] = []
         self._allocs: List[Allocation] = []
+        #: Last allocation a ``locate`` resolved to.  Accesses cluster
+        #: heavily (loops walk one array at a time), so this answers
+        #: most lookups without the bisect.  The entry is dropped on
+        #: map/unmap; frees are caught by the ``freed`` guard.
+        self._hot: Optional[Allocation] = None
+        #: Bumped only when a *non-freed* allocation is unmapped -- the
+        #: one event that can silently invalidate the compiled engine's
+        #: per-site access caches.  A cached allocation that is still
+        #: mapped and not freed owns its address range exclusively
+        #: (``map`` rejects overlaps with live allocations), and every
+        #: free is visible through the ``freed`` flag on the cached
+        #: object itself, so caches stay valid across map/free/return
+        #: without any epoch churn.
+        self.epoch: int = 0
 
     # -- mapping -------------------------------------------------------
     def map(self, alloc: Allocation) -> Allocation:
+        self._hot = None
         if alloc.base < NULL_PAGE_END:
             raise VMError(f"cannot map into the NULL page: 0x{alloc.base:x}")
         idx = bisect.bisect_right(self._bases, alloc.base)
@@ -173,6 +188,13 @@ class Memory:
 
     def unmap(self, alloc: Allocation) -> None:
         """Remove an allocation from the index entirely."""
+        if self._hot is alloc:
+            self._hot = None
+        if not alloc.freed:
+            # Unmapping live memory frees its range for reuse without
+            # leaving a ``freed`` mark on the object: stale per-site
+            # caches can only notice through the epoch.
+            self.epoch += 1
         idx = bisect.bisect_left(self._bases, alloc.base)
         while idx < len(self._allocs):
             if self._allocs[idx] is alloc:
@@ -196,20 +218,34 @@ class Memory:
 
     def locate(self, address: int, size: int, write: bool) -> Tuple[Allocation, int]:
         """Resolve an access; raise :class:`MemoryFault` if invalid."""
+        alloc = self._hot
+        if (
+            alloc is not None
+            and alloc.base <= address
+            and address + size <= alloc.base + alloc.size
+            and not alloc.freed
+        ):
+            # NULL-page accesses can never hit here: mapped bases are
+            # always >= NULL_PAGE_END, so ``alloc.base <= address``
+            # already excludes them.
+            return alloc, address - alloc.base
         if address < NULL_PAGE_END:
             raise MemoryFault(address, size, "null pointer dereference")
         idx = bisect.bisect_right(self._bases, address) - 1
         if idx >= 0:
             alloc = self._allocs[idx]
-            if address < alloc.end:
+            base = alloc.base
+            end = base + alloc.size
+            if address < end:
                 if alloc.freed:
                     raise MemoryFault(address, size, f"use after free of {alloc.name or alloc.kind}")
-                if address + size > alloc.end:
+                if address + size > end:
                     raise MemoryFault(
                         address, size,
                         f"access straddles end of {alloc.name or alloc.kind} allocation",
                     )
-                return alloc, address - alloc.base
+                self._hot = alloc
+                return alloc, address - base
         raise MemoryFault(address, size, "access to unmapped memory")
 
     # -- typed access ----------------------------------------------------
@@ -222,19 +258,38 @@ class Memory:
         alloc.data[offset : offset + len(data)] = data
 
     def read_int(self, address: int, size: int, signed: bool = False) -> int:
-        raw = self.read_bytes(address, size)
-        return int.from_bytes(raw, "little", signed=signed)
+        alloc, offset = self.locate(address, size, write=False)
+        if size == 1 and not signed:
+            return alloc.data[offset]
+        # int.from_bytes accepts the bytearray (or SparsePages bytes)
+        # slice directly: no intermediate bytes() copy.
+        return int.from_bytes(alloc.data[offset : offset + size], "little",
+                              signed=signed)
 
     def write_int(self, address: int, value: int, size: int) -> None:
+        alloc, offset = self.locate(address, size, write=True)
+        if size == 1:
+            alloc.data[offset] = value & 0xFF
+            return
         value &= (1 << (8 * size)) - 1
-        self.write_bytes(address, value.to_bytes(size, "little"))
+        alloc.data[offset : offset + size] = value.to_bytes(size, "little")
 
     def read_float(self, address: int, size: int) -> float:
-        raw = self.read_bytes(address, size)
-        return struct.unpack("<f" if size == 4 else "<d", raw)[0]
+        alloc, offset = self.locate(address, size, write=False)
+        data = alloc.data
+        if type(data) is bytearray:
+            return struct.unpack_from("<f" if size == 4 else "<d", data, offset)[0]
+        return struct.unpack("<f" if size == 4 else "<d",
+                             data[offset : offset + size])[0]
 
     def write_float(self, address: int, value: float, size: int) -> None:
-        self.write_bytes(address, struct.pack("<f" if size == 4 else "<d", value))
+        alloc, offset = self.locate(address, size, write=True)
+        data = alloc.data
+        if type(data) is bytearray:
+            struct.pack_into("<f" if size == 4 else "<d", data, offset, value)
+        else:
+            data[offset : offset + size] = struct.pack(
+                "<f" if size == 4 else "<d", value)
 
     # -- diagnostics --------------------------------------------------------
     def live_allocations(self) -> List[Allocation]:

@@ -55,11 +55,12 @@ class RuntimeStats:
 
     def record_check(self, site: str, wide: bool) -> None:
         self.checks_executed += 1
-        if wide:
-            self.checks_wide += 1
-        counter = self.per_site.setdefault(site, Counter())
+        counter = self.per_site.get(site)
+        if counter is None:
+            counter = self.per_site[site] = Counter()
         counter["executed"] += 1
         if wide:
+            self.checks_wide += 1
             counter["wide"] += 1
 
     @property

@@ -186,6 +186,53 @@ class TestDiskCache:
         assert job_key(payload) == job_key(same)
         assert job_key(payload) != job_key(other)
 
+    def test_key_ignores_vm_engine(self):
+        # The engines are bit-identical by contract (enforced by
+        # tests/vm/test_engine_differential.py), so the engine choice
+        # must not partition the cache -- and payloads written before
+        # the field existed must key identically to new ones.
+        payload = {"workload": "w", "sources": {"tu0": "int main(){}"}}
+        assert job_key(dict(payload, engine="compiled")) == job_key(payload)
+        assert job_key(dict(payload, engine="interp")) == \
+            job_key(dict(payload, engine="compiled"))
+
+    def test_format_version_unchanged_by_engine_tier(self):
+        # The closure-compiled tier required no cache-version bump:
+        # entries written by earlier revisions still replay.
+        from repro.experiments.cache import CACHE_FORMAT_VERSION
+
+        assert CACHE_FORMAT_VERSION == 2
+
+    def test_interp_cached_result_replays_for_compiled(self, tmp_path,
+                                                       monkeypatch):
+        first = _engine(tmp_path, vm_engine="interp")
+        original = first.run(get("197parser"), "softbound")
+
+        _forbid_execution(monkeypatch)
+        second = _engine(tmp_path, vm_engine="compiled")
+        cached = second.run(get("197parser"), "softbound")
+        assert cached.to_json() == original.to_json()
+        assert second.cache_hits == 1
+        assert second.executed_jobs == 0
+
+    def test_old_style_payload_without_engine_field_replays(self, tmp_path,
+                                                            monkeypatch):
+        # Simulate a cache entry written by a revision that predates
+        # the engine field: store under the key of an engine-less
+        # payload and verify today's engine resolves to it.
+        engine = _engine(tmp_path)
+        request = JobRequest(get("197parser"), "baseline")
+        payload = engine._payload(request)
+        assert payload["engine"] == "compiled"
+        old_payload = {k: v for k, v in payload.items() if k != "engine"}
+        assert job_key(old_payload) == job_key(payload)
+
+        fresh = engine.run_request(request)
+        _forbid_execution(monkeypatch)
+        replay = _engine(tmp_path)
+        assert replay.run_request(request).to_json() == fresh.to_json()
+        assert replay.cache_hits == 1
+
     def test_corrupt_file_is_a_miss(self, tmp_path):
         engine = _engine(tmp_path)
         engine.run(get("197parser"), "baseline")

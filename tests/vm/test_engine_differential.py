@@ -1,0 +1,83 @@
+"""Corpus-wide engine differential: compiled tier == tree-walker.
+
+The closure-compiled execution tier promises *bit-identical* results
+to the reference tree-walker -- same program output, same exit status,
+same ``RuntimeStats`` field for field (``cycles``, ``instructions``,
+``opcode_counts``, every check counter, ``per_site``).  That contract
+is what lets cached experiment results replay under either engine
+without a cache-version bump, so it is enforced here over the full
+matrix: all 20 workloads under uninstrumented, SoftBound, and Low-Fat
+configurations.
+
+Each cell compiles once and runs each engine once; the whole matrix is
+the most expensive test module in the suite, which is the point -- any
+stats divergence anywhere in the corpus fails loudly.
+"""
+
+import dataclasses
+from typing import Dict, Tuple
+
+import pytest
+
+from repro.driver import CompileOptions, CompiledProgram, compile_program, run_program
+from repro.experiments.common import config_for
+from repro.workloads import get
+from repro.workloads.registry import all_names
+
+LABELS = ("baseline", "softbound", "lowfat")
+MAX_INSTRUCTIONS = 100_000_000
+
+_PROGRAMS: Dict[Tuple[str, str], CompiledProgram] = {}
+
+
+def _compiled_program(name: str, label: str) -> CompiledProgram:
+    key = (name, label)
+    program = _PROGRAMS.get(key)
+    if program is None:
+        workload = get(name)
+        config = config_for(label)
+        options = CompileOptions(
+            obfuscate_pointer_copies=tuple(workload.obfuscated_units)
+        )
+        if config is None:
+            program = compile_program(workload.sources, options=options)
+        else:
+            program = compile_program(workload.sources, config, options)
+        _PROGRAMS[key] = program
+    return program
+
+
+def _diff_stats(a, b) -> str:
+    lines = []
+    da, db = dataclasses.asdict(a), dataclasses.asdict(b)
+    for field in da:
+        if da[field] == db[field]:
+            continue
+        if isinstance(da[field], dict):
+            ka, kb = set(da[field]), set(db[field])
+            lines.append(
+                f"  {field}: only-interp={sorted(ka - kb)[:5]} "
+                f"only-compiled={sorted(kb - ka)[:5]} "
+                f"diverging={[k for k in sorted(ka & kb) if da[field][k] != db[field][k]][:5]}"
+            )
+        else:
+            lines.append(f"  {field}: interp={da[field]} compiled={db[field]}")
+    return "\n".join(lines)
+
+
+@pytest.mark.parametrize("label", LABELS)
+@pytest.mark.parametrize("name", all_names())
+def test_engines_bit_identical(name, label):
+    program = _compiled_program(name, label)
+    interp = run_program(program, max_instructions=MAX_INSTRUCTIONS,
+                         engine="interp")
+    compiled = run_program(program, max_instructions=MAX_INSTRUCTIONS,
+                           engine="compiled")
+
+    assert compiled.output == interp.output, f"{name}/{label}: output differs"
+    assert compiled.exit_code == interp.exit_code
+    assert compiled.describe() == interp.describe()
+    assert dataclasses.asdict(compiled.stats) == \
+        dataclasses.asdict(interp.stats), (
+            f"{name}/{label}: RuntimeStats diverge\n"
+            + _diff_stats(interp.stats, compiled.stats))
