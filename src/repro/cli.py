@@ -105,6 +105,22 @@ def _build_parser() -> argparse.ArgumentParser:
     bench_p.add_argument("--compare-baseline", action="store_true",
                          help="also run uninstrumented and print overhead")
 
+    profile_p = sub.add_parser(
+        "profile",
+        help="per-check-site profile: hottest sites and wide-bounds "
+             "attribution (requires an instrumented -mi-config)",
+    )
+    profile_p.add_argument("targets", nargs="+",
+                           help="MiniC source files, or one workload name")
+    common(profile_p)
+    profile_p.add_argument("--entry", default="main")
+    profile_p.add_argument("--max-instructions", type=int,
+                           default=100_000_000)
+    profile_p.add_argument("--top", type=int, default=20,
+                           help="number of hottest sites to show")
+    profile_p.add_argument("--format", choices=("text", "json"),
+                           default="text", help="output format")
+
     lint_p = sub.add_parser(
         "lint",
         help="statically flag the paper's Section 4 pitfalls",
@@ -183,6 +199,49 @@ def _run_lint(args) -> int:
     return 0
 
 
+def _run_profile(args, config: InstrumentationConfig) -> int:
+    import json as json_mod
+
+    from .profiling import build_profile, render_text
+    from .workloads import all_names, get
+
+    if config.approach == "noop":
+        raise ConfigError(
+            "profile requires an instrumented configuration; pass "
+            "-mi-config=softbound or -mi-config=lowfat"
+        )
+
+    options_kwargs = dict(
+        opt_level=args.opt_level,
+        extension_point=args.extension_point,
+        link_time_optimization=not args.no_lto,
+        verify=args.verify,
+    )
+    if len(args.targets) == 1 and args.targets[0] in all_names():
+        workload = get(args.targets[0])
+        options = CompileOptions(
+            obfuscate_pointer_copies=tuple(workload.obfuscated_units),
+            **options_kwargs,
+        )
+        sources = workload.sources
+    else:
+        options = CompileOptions(**options_kwargs)
+        sources = _load_sources(args.targets)
+
+    program = compile_program(sources, config, options)
+    result = run_program(program, entry=args.entry,
+                         max_instructions=args.max_instructions,
+                         engine=args.engine, profile=True)
+    if not result.ok:
+        print(result.describe(), file=sys.stderr)
+    profile = build_profile(program, result, top=args.top)
+    if args.format == "json":
+        print(json_mod.dumps(profile, indent=2))
+    else:
+        print(render_text(profile))
+    return 0
+
+
 def _run_experiment(args, parser) -> int:
     import importlib
 
@@ -234,6 +293,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         except ReproError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
+        except OSError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+
+    if args.command == "profile":
+        try:
+            return _run_profile(args, config)
+        except ConfigError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
         except OSError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 1

@@ -25,7 +25,7 @@ from ..ir.verifier import verify_module
 from .config import InstrumentationConfig
 from .filters import dominance_filter, range_filter
 from .gather import gather_function_targets
-from .itarget import ITarget, TargetStatistics
+from .itarget import CheckSiteInfo, ITarget, TargetStatistics
 from .lf_mechanism import LowFatMechanism
 from .mechanism import InstrumentationMechanism
 from .sb_mechanism import SoftBoundMechanism
@@ -50,6 +50,9 @@ class MemInstrumentPass:
         self.verify = verify
         self.statistics = TargetStatistics()
         self.per_function: Dict[str, TargetStatistics] = {}
+        #: site id -> static provenance of the emitted check (joined
+        #: with the dynamic per-site counters by ``repro profile``).
+        self.check_sites: Dict[str, CheckSiteInfo] = {}
 
     def run(self, module: Module) -> None:
         mechanism = _make_mechanism(self.config)
@@ -65,6 +68,7 @@ class MemInstrumentPass:
             if "mi_ignore" in fn.attributes:
                 continue
             self._instrument_function(mechanism, fn, summaries)
+        self.check_sites.update(mechanism.site_infos)
         if self.verify:
             verify_module(module)
 
@@ -123,3 +127,7 @@ class InstrumenterHandle:
     @property
     def per_function(self) -> Dict[str, TargetStatistics]:
         return self.pass_.per_function
+
+    @property
+    def check_sites(self) -> Dict[str, CheckSiteInfo]:
+        return self.pass_.check_sites

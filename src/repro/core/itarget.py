@@ -58,6 +58,36 @@ class ITarget:
 
 
 @dataclass
+class CheckSiteInfo:
+    """Static provenance of one emitted check site.
+
+    Built by the mechanisms while lowering (they know the witness each
+    check uses) and joined by ``repro profile`` with the dynamic
+    :attr:`RuntimeStats.per_site` counters, giving the measured version
+    of Table 2's attribution: which source line runs how many checks,
+    and *why* a site's checks run with wide bounds."""
+
+    site: str
+    function: str
+    kind: str                     # "deref" | "invariant"
+    mechanism: str                # "softbound" | "lowfat"
+    line: Optional[int] = None    # source line (IRBuilder.current_line)
+    source: str = ""              # what produced the checked pointer
+    wide_hint: str = ""           # static reason the bounds may be wide
+
+    def to_dict(self) -> dict:
+        return {
+            "site": self.site,
+            "function": self.function,
+            "kind": self.kind,
+            "mechanism": self.mechanism,
+            "line": self.line,
+            "source": self.source,
+            "wide_hint": self.wide_hint,
+        }
+
+
+@dataclass
 class TargetStatistics:
     """Static instrumentation statistics, per function or module.
 

@@ -39,7 +39,7 @@ from ..ir.instructions import (
 from ..ir.module import Function, GlobalVariable, Module
 from ..ir.types import I64, IntType, PointerType, size_of
 from ..ir.values import Argument, ConstantInt, ConstantNull, UndefValue, Value
-from .itarget import ITarget, TargetKind
+from .itarget import CheckSiteInfo, ITarget, TargetKind
 from .mechanism import InstrumentationMechanism, RUNTIME_DECLARATIONS
 
 #: libc allocation entry points and their low-fat replacements.
@@ -142,6 +142,7 @@ class LowFatMechanism(InstrumentationMechanism):
             [p64, ConstantInt(I64, target.width), base],
         )
         check.meta["mi_site"] = target.site
+        self._record_site(target, target.pointer, "deref")
 
     def _lower_escape(self, target: ITarget, pointer: Value) -> None:
         """Establish the in-bounds invariant for an escaping pointer."""
@@ -153,6 +154,53 @@ class LowFatMechanism(InstrumentationMechanism):
             self.module.get_function("__lf_invariant_check"), [p64, base]
         )
         check.meta["mi_site"] = target.site
+        self._record_site(target, pointer, "invariant")
+
+    def _record_site(self, target: ITarget, pointer: Value, kind: str) -> None:
+        source, wide_hint = self._classify_pointer(pointer)
+        self.site_infos[target.site] = CheckSiteInfo(
+            site=target.site,
+            function=self._fn.name,
+            kind=kind,
+            mechanism=self.name,
+            line=target.instruction.meta.get("line"),
+            source=source,
+            wide_hint=wide_hint,
+        )
+
+    def _classify_pointer(self, pointer: Value):
+        """Static provenance of a checked pointer under Low-Fat's
+        witness rules: a base that ``__lf_compute_base`` recomputes can
+        only go wide dynamically (non-low-fat allocation), whereas
+        external globals and code pointers are wide by construction."""
+        seen = set()
+        while id(pointer) not in seen:
+            seen.add(id(pointer))
+            if isinstance(pointer, GEP):
+                pointer = pointer.pointer
+                continue
+            if isinstance(pointer, Cast) and pointer.opcode == "bitcast" \
+                    and isinstance(pointer.value.type, PointerType):
+                pointer = pointer.value
+                continue
+            break
+        if isinstance(pointer, GlobalVariable):
+            if pointer.is_declaration:
+                return ("external-global", "unmirrored-external-global")
+            return ("global", "")
+        if isinstance(pointer, Argument):
+            return ("argument", "")
+        if isinstance(pointer, (Phi, Select)):
+            return ("phi-or-select", "")
+        if isinstance(pointer, Function):
+            return ("function-pointer", "function-pointer")
+        if isinstance(pointer, Cast) and pointer.opcode == "inttoptr":
+            return ("inttoptr", "")
+        if isinstance(pointer, (ConstantNull, UndefValue)):
+            return ("null", "")
+        if isinstance(pointer, Instruction):
+            return ("recomputed-base", "")
+        return ("unknown", "unknown-producer")
 
     # ------------------------------------------------------------------
     # witness materialization: the base pointer

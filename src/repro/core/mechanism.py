@@ -18,7 +18,7 @@ from ..ir.module import Function, Module
 from ..ir.types import FunctionType, I64, I8, PointerType, VOID, ptr
 from ..ir.values import Value
 from .config import InstrumentationConfig
-from .itarget import ITarget
+from .itarget import CheckSiteInfo, ITarget
 
 I8P = ptr(I8)
 
@@ -72,6 +72,9 @@ class InstrumentationMechanism:
     def __init__(self, config: InstrumentationConfig):
         self.config = config
         self.module: Optional[Module] = None
+        #: site id -> static provenance, filled while lowering checks;
+        #: joined with RuntimeStats.per_site by ``repro profile``.
+        self.site_infos: Dict[str, CheckSiteInfo] = {}
 
     # -- module/function hooks (orchestrated by instrument.py) -----------
     def prepare_module(self, module: Module) -> None:

@@ -39,7 +39,7 @@ from ..ir.module import Function, GlobalVariable, Module
 from ..ir.types import I64, IntType, PointerType, size_of
 from ..ir.values import Argument, Constant, ConstantInt, ConstantNull, UndefValue, Value
 from ..softbound.runtime import WRAPPED_FUNCTIONS
-from .itarget import ITarget, TargetKind
+from .itarget import CheckSiteInfo, ITarget, TargetKind
 from .mechanism import (
     InstrumentationMechanism,
     RUNTIME_DECLARATIONS,
@@ -116,6 +116,56 @@ class SoftBoundMechanism(InstrumentationMechanism):
             [p64, ConstantInt(I64, target.width), base, bound],
         )
         check.meta["mi_site"] = target.site
+        source, wide_hint = self._classify_pointer(target.pointer)
+        self.site_infos[target.site] = CheckSiteInfo(
+            site=target.site,
+            function=self._fn.name,
+            kind="deref",
+            mechanism=self.name,
+            line=target.instruction.meta.get("line"),
+            source=source,
+            wide_hint=wide_hint,
+        )
+
+    def _classify_pointer(self, pointer: Value) -> Tuple[str, str]:
+        """Static provenance of a checked pointer: what produced it and
+        whether its witness is statically known to be (possibly) wide --
+        the measured counterpart of Table 2's attribution column."""
+        seen = set()
+        while id(pointer) not in seen:
+            seen.add(id(pointer))
+            if isinstance(pointer, GEP):
+                pointer = pointer.pointer
+                continue
+            if isinstance(pointer, Cast) and pointer.opcode == "bitcast" \
+                    and isinstance(pointer.value.type, PointerType):
+                pointer = pointer.value
+                continue
+            break
+        if isinstance(pointer, Cast) and pointer.opcode == "inttoptr":
+            if self.config.sb_inttoptr_wide_bounds:
+                return ("inttoptr", "inttoptr-roundtrip")
+            return ("inttoptr", "")
+        if isinstance(pointer, GlobalVariable):
+            if (pointer.declared_without_size
+                    and self.config.sb_size_zero_wide_upper):
+                return ("global", "sizeless-extern-array")
+            return ("global", "")
+        if isinstance(pointer, Alloca):
+            return ("alloca", "")
+        if isinstance(pointer, Load):
+            return ("trie-load", "")
+        if isinstance(pointer, Call):
+            return ("call-result", "")
+        if isinstance(pointer, Argument):
+            return ("argument", "")
+        if isinstance(pointer, (Phi, Select)):
+            return ("phi-or-select", "")
+        if isinstance(pointer, Function):
+            return ("function-pointer", "function-pointer")
+        if isinstance(pointer, (ConstantNull, UndefValue)):
+            return ("null", "")
+        return ("unknown", "unknown-producer")
 
     def _lower_store_invariant(self, target: ITarget) -> None:
         store = target.instruction

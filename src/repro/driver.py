@@ -27,7 +27,7 @@ from typing import Dict, List, Optional, Sequence, Union
 
 from .core.config import InstrumentationConfig
 from .core.instrument import InstrumenterHandle, make_instrumenter
-from .core.itarget import TargetStatistics
+from .core.itarget import CheckSiteInfo, TargetStatistics
 from .errors import MemoryFault, MemSafetyViolation, ProgramAbort, VMError
 from .frontend.codegen import compile_source
 from .ir.module import Module
@@ -71,6 +71,9 @@ class CompiledProgram:
     options: CompileOptions
     instrumentation: TargetStatistics = field(default_factory=TargetStatistics)
     per_function: Dict[str, TargetStatistics] = field(default_factory=dict)
+    #: site id -> static provenance of the emitted checks, for the
+    #: ``repro profile`` join against RuntimeStats.per_site.
+    check_sites: Dict[str, CheckSiteInfo] = field(default_factory=dict)
 
 
 @dataclass
@@ -141,6 +144,7 @@ def compile_program(
             program.instrumentation.merge(instrumenter.statistics)
             for fname, stats in instrumenter.per_function.items():
                 program.per_function[f"{name}:{fname}"] = stats
+            program.check_sites.update(instrumenter.check_sites)
         units.append(module)
 
     linked = Module.link(units, "linked") if len(units) > 1 else units[0]
@@ -161,10 +165,12 @@ def make_vm(
     max_instructions: Optional[int] = 500_000_000,
     lf_region_capacity: Optional[int] = None,
     engine: str = "compiled",
+    profile: bool = False,
 ) -> VirtualMachine:
     """Create a VM with the runtime matching the program's config."""
     vm = VirtualMachine(
-        program.module, max_instructions=max_instructions, engine=engine
+        program.module, max_instructions=max_instructions, engine=engine,
+        profile=profile,
     )
     config = program.config
     if config.approach == "softbound":
@@ -183,9 +189,13 @@ def run_program(
     max_instructions: Optional[int] = 500_000_000,
     lf_region_capacity: Optional[int] = None,
     engine: str = "compiled",
+    profile: bool = False,
 ) -> RunResult:
     """Run a compiled program, capturing safety reports and faults."""
-    vm = make_vm(program, max_instructions, lf_region_capacity, engine=engine)
+    vm = make_vm(
+        program, max_instructions, lf_region_capacity, engine=engine,
+        profile=profile,
+    )
     result = RunResult(None, vm.output, vm.stats)
     try:
         result.exit_code = vm.run(entry)

@@ -24,12 +24,35 @@ from __future__ import annotations
 from typing import List, Optional, TYPE_CHECKING
 
 from ..errors import MemSafetyViolation
+from ..vm import costs
 from ..vm.stats import RuntimeStats
 from . import layout
 from .allocator import LowFatAllocator
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..vm.interpreter import VirtualMachine
+
+_CHECK_COST = costs.INTRINSIC_COSTS["__lf_check"]
+_INVARIANT_COST = costs.INTRINSIC_COSTS["__lf_invariant_check"]
+
+
+def _wide_reason(vm: "VirtualMachine", ptr: int) -> str:
+    """Why did this access run with wide bounds?  Only consulted when
+    profiling is on; classifies by the allocation the pointer actually
+    refers to (paper Section 4.3's sources of unprotected memory)."""
+    alloc = vm.memory.find(ptr)
+    if alloc is None:
+        return "no-allocation"
+    kind = getattr(alloc, "kind", None)
+    if kind == "heap":
+        return "oversized-or-fallback-allocation"
+    if kind == "global":
+        return "unmirrored-global"
+    if kind == "stack":
+        return "uninstrumented-stack"
+    if kind == "lowfat":
+        return "wide-witness-into-lowfat-region"
+    return "non-lowfat-pointer"
 
 
 class LowFatRuntime:
@@ -105,9 +128,12 @@ class LowFatRuntime:
         size = layout.allocation_size(region)
         if size == 0:
             # Non-low-fat witness: wide bounds, access is unchecked.
-            vm.stats.record_check(str(site), wide=True)
+            reason = _wide_reason(vm, ptr) if vm.stats.profile else None
+            vm.stats.record_check(
+                str(site), wide=True, cost=_CHECK_COST, reason=reason
+            )
             return
-        vm.stats.record_check(str(site), wide=False)
+        vm.stats.record_check(str(site), wide=False, cost=_CHECK_COST)
         if (ptr - base) % (1 << 64) > size - width:
             raise MemSafetyViolation(
                 "deref",
@@ -122,7 +148,7 @@ class LowFatRuntime:
         admits -- width 0 here, so base+size itself stays legal)."""
         ptr, base = args[0], args[1]
         site = args[2] if len(args) > 2 else None
-        vm.stats.invariant_checks += 1
+        vm.stats.record_invariant(str(site), cost=_INVARIANT_COST)
         region = layout.region_index(base)
         size = layout.allocation_size(region)
         if size == 0:

@@ -20,6 +20,7 @@ from __future__ import annotations
 from typing import Callable, List, Optional, TYPE_CHECKING
 
 from ..errors import MemSafetyViolation
+from ..vm import costs
 from ..vm import native as libc
 from .shadow_stack import ShadowStack, WIDE_BASE, WIDE_BOUND
 from .trie import MetadataTrie
@@ -28,6 +29,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..vm.interpreter import VirtualMachine
 
 U64 = (1 << 64) - 1
+_CHECK_COST = costs.INTRINSIC_COSTS["__sb_check"]
 
 #: libc functions that get wrappers, and how many leading pointer
 #: arguments each should be checked against its shadow-stack bounds
@@ -133,7 +135,7 @@ class SoftBoundRuntime:
         ptr, width, base, bound = args[0], args[1], args[2], args[3]
         site = str(args[4]) if len(args) > 4 else None
         wide = bound == WIDE_BOUND
-        vm.stats.record_check(str(site), wide=wide)
+        vm.stats.record_check(str(site), wide=wide, cost=_CHECK_COST)
         if ptr < base or ptr + width > bound:
             raise MemSafetyViolation(
                 "deref",
@@ -148,7 +150,10 @@ class SoftBoundRuntime:
             return
         # Two shadow-stack loads plus the range comparison (Figure 6's
         # check_abort); only charged when the checks are enabled.
-        self.vm.stats.cycles += 8
+        stats = self.vm.stats
+        stats.cycles += 8
+        if stats.profile:
+            stats.instrumentation_cycles += 8
         base, bound = self.shadow_stack.get_slot(slot)
         if bound == WIDE_BOUND:
             return
@@ -165,6 +170,11 @@ class SoftBoundRuntime:
 
         def wrapper(vm: "VirtualMachine", args: List) -> object:
             ss = self.shadow_stack
+            stats = vm.stats
+            if stats.profile:
+                # The wrapper's bookkeeping share of the charged call
+                # cost (call_cost = wrapped base + call + overhead).
+                stats.instrumentation_cycles += costs.SB_WRAPPER_OVERHEAD
             if name == "malloc":
                 result = impl(vm, args)
                 ss.set_ret(result, result + args[0])
@@ -174,8 +184,28 @@ class SoftBoundRuntime:
                 ss.set_ret(result, result + args[0] * args[1])
                 return result
             if name == "realloc":
+                old_ptr, new_size = args[0], args[1]
+                old_size = 0
+                if old_ptr != 0:
+                    old_alloc = vm.memory.find(old_ptr)
+                    if old_alloc is not None:
+                        old_size = old_alloc.size
                 result = impl(vm, args)
-                ss.set_ret(result, result + args[1])
+                migrated = min(old_size, new_size)
+                if old_ptr != 0 and result != old_ptr and migrated > 0:
+                    # The allocation moved: migrate the trie entries of
+                    # every pointer slot the data copy carried over
+                    # (Figure 6's copy_metadata applies to realloc just
+                    # like memcpy; without it, pointers stored inside
+                    # the buffer lose their metadata and the next load
+                    # through them sees NULL bounds).
+                    copied = self.trie.copy_range(result, old_ptr, migrated)
+                    if copied:
+                        stats.cycles += 4 * copied
+                        stats.trie_stores += copied
+                        if stats.profile:
+                            stats.instrumentation_cycles += 4 * copied
+                ss.set_ret(result, result + new_size)
                 return result
             if name == "free":
                 return impl(vm, args)
@@ -187,8 +217,10 @@ class SoftBoundRuntime:
                 if n > 0:
                     copied = self.trie.copy_range(dest, src, n)
                     # copy_metadata walks the trie per 8-byte slot.
-                    vm.stats.cycles += 4 * copied
-                    vm.stats.trie_stores += copied
+                    stats.cycles += 4 * copied
+                    stats.trie_stores += copied
+                    if stats.profile and copied:
+                        stats.instrumentation_cycles += 4 * copied
                 base, bound = ss.get_slot(0)
                 ss.set_ret(base, bound)
                 return result
@@ -199,6 +231,13 @@ class SoftBoundRuntime:
                 ss.set_ret(base, bound)
                 return result
             if name == "strcpy":
+                if self.wrapper_checks:
+                    # strlen(src)+1 bytes are read from src and written
+                    # to dest; both ranges must lie inside the argument
+                    # bounds, exactly like memcpy's argument checks.
+                    n = len(libc._read_cstring(vm, args[1])) + 1
+                    self._wrapper_check(args[0], n, 0, name)
+                    self._wrapper_check(args[1], n, 1, name)
                 result = impl(vm, args)
                 base, bound = ss.get_slot(0)
                 ss.set_ret(base, bound)

@@ -55,21 +55,47 @@ class MetadataTrie:
         return secondary.get(self._split(location)[1])
 
     def copy_range(self, dest: int, src: int, nbytes: int) -> int:
-        """``copy_metadata`` of the memcpy wrapper (paper Figure 6):
-        copy the metadata of every slot in [src, src+nbytes) to the
-        corresponding slot of dest.  Returns the number of entries
-        copied."""
+        """``copy_metadata`` of the memcpy/memmove wrappers (paper
+        Figure 6): copy the metadata of every slot in
+        [src, src+nbytes) to the corresponding slot of dest.  Returns
+        the number of entries copied.
+
+        Two properties must hold for the wrapper to be faithful:
+
+        * **memmove direction** -- when the ranges overlap with
+          dest > src, an ascending walk reads slots the copy already
+          overwrote, propagating one entry across the whole range;
+          the walk must run descending in that case (and ascending
+          for dest < src), exactly like ``memmove`` on the bytes.
+        * **stale-slot clearing** -- a destination slot whose source
+          slot carries no metadata must be *cleared*: the bytes of a
+          previously-stored pointer were just overwritten, so leaving
+          its old trie entry behind resurrects dangling bounds
+          (paper Section 4.5).
+        """
         copied = 0
-        # Iterate 8-byte slots covered by the range.
+        # Iterate 8-byte slots covered by the range, in memmove order.
         first_slot = src >> SLOT_SHIFT
         last_slot = (src + max(nbytes, 1) - 1) >> SLOT_SHIFT
-        for slot in range(first_slot, last_slot + 1):
+        slots = range(first_slot, last_slot + 1)
+        if dest > src:
+            slots = reversed(slots)
+        for slot in slots:
             location = slot << SLOT_SHIFT
             entry = self._lookup_quiet(location)
+            dest_location = dest + (location - src)
             if entry is not None:
-                self.store(dest + (location - src), *entry)
+                self.store(dest_location, *entry)
                 copied += 1
+            else:
+                self._clear_quiet(dest_location)
         return copied
+
+    def _clear_quiet(self, location: int) -> None:
+        hi, lo = self._split(location)
+        secondary = self._primary.get(hi)
+        if secondary is not None:
+            secondary.pop(lo, None)
 
     def _lookup_quiet(self, location: int) -> Optional[Tuple[int, int]]:
         secondary = self._primary.get(self._split(location)[0])

@@ -130,8 +130,9 @@ def _raiser(exc: Exception) -> Callable:
 def _unroll(stats, oc, rb) -> None:
     """Cold path of an inline rollback cell: subtract the batched
     charges of the instructions after the raising step (``rb`` is
-    ``[cycles, instructions, opcode_items, loads, stores]``, filled in
-    once the block's charge list is complete)."""
+    ``[cycles, instructions, opcode_items, loads, stores, mi_cycles]``,
+    filled in once the block's charge list is complete;
+    ``mi_cycles`` is nonzero only under profiling)."""
     stats.cycles -= rb[0]
     stats.instructions -= rb[1]
     for key, count in rb[2]:
@@ -142,10 +143,13 @@ def _unroll(stats, oc, rb) -> None:
             del oc[key]
     stats.loads -= rb[3]
     stats.stores -= rb[4]
+    if rb[5]:
+        stats.instrumentation_cycles -= rb[5]
 
 
 def _rollback(inner: Callable, stats, oc, cyc: int, n: int,
-              items: Tuple, loads: int, stores: int) -> Callable:
+              items: Tuple, loads: int, stores: int,
+              micyc: int = 0) -> Callable:
     """Wrap a potentially-raising step: on the way out, un-charge the
     statically batched charges of the instructions after it, restoring
     the exact tree-walker counter state at the raise point."""
@@ -168,6 +172,8 @@ def _rollback(inner: Callable, stats, oc, cyc: int, n: int,
                 stats.loads -= loads
             if stores:
                 stats.stores -= stores
+            if micyc:
+                stats.instrumentation_cycles -= micyc
             raise
 
     return step
@@ -230,7 +236,7 @@ class _FunctionCompiler:
         # Per-block compile state.
         self._pending: Dict[Value, Tuple] = {}
         self._gep_parts: Dict[Value, Tuple] = {}
-        self._charges: List[Tuple[str, int, int, int]] = []
+        self._charges: List[Tuple[str, int, int, int, bool]] = []
         self._wraps: List[Tuple[int, int]] = []
         self._rb_cells: List[Tuple[List, int]] = []
 
@@ -287,12 +293,14 @@ class _FunctionCompiler:
             for phi in phis:
                 # Phi resolution is charged with the block batch (the
                 # batch applies after the moves ran, matching the
-                # tree-walker's evaluate-then-charge order).
-                self._charges.append(("phi", 0, 0, 0))
+                # tree-walker's evaluate-then-charge order).  Phis cost
+                # 0 cycles, so no mi attribution either way.
+                self._charges.append(("phi", 0, 0, 0, False))
             for inst in block.instructions[len(phis):]:
                 if inst is term_inst:
                     self._charges.append(
-                        (inst.opcode, costs.INSTRUCTION_COSTS[inst.opcode], 0, 0))
+                        (inst.opcode, costs.INSTRUCTION_COSTS[inst.opcode],
+                         0, 0, False))
                     break
                 self._compile_instruction(inst, body)
             # The terminator may consume a pending fused expression, so
@@ -313,8 +321,8 @@ class _FunctionCompiler:
 
     # -- charge bookkeeping --------------------------------------------
     def _charge(self, opcode: str, cycles: int,
-                loads: int = 0, stores: int = 0) -> None:
-        self._charges.append((opcode, cycles, loads, stores))
+                loads: int = 0, stores: int = 0, mi: bool = False) -> None:
+        self._charges.append((opcode, cycles, loads, stores, mi))
 
     def _emit_raising(self, body: List[Callable], step: Callable) -> None:
         """Emit a step that may raise; it will be wrapped with a
@@ -326,39 +334,63 @@ class _FunctionCompiler:
         """Inline-rollback cell for steps that carry their own
         try/except (loads, stores, native calls): same semantics as
         :meth:`_emit_raising`, minus the wrapper call per execution."""
-        rb = [0, 0, (), 0, 0]
+        rb = [0, 0, (), 0, 0, 0]
         self._rb_cells.append((rb, len(self._charges)))
         return rb
 
     @staticmethod
-    def _aggregate(charges) -> Tuple[int, int, Tuple, int, int]:
-        cyc = loads = stores = 0
+    def _aggregate(charges) -> Tuple[int, int, Tuple, int, int, int]:
+        cyc = loads = stores = micyc = 0
         counts: Dict[str, int] = {}
-        for op, c, ld, st in charges:
+        for op, c, ld, st, mi in charges:
             cyc += c
             loads += ld
             stores += st
+            if mi:
+                micyc += c
             counts[op] = counts.get(op, 0) + 1
-        return cyc, len(charges), tuple(counts.items()), loads, stores
+        return cyc, len(charges), tuple(counts.items()), loads, stores, micyc
 
     def _finalize_block(self, body: List[Callable]) -> None:
         charges = self._charges
         stats = self.stats
         oc = stats.opcode_counts
+        # Resolved at compile time: unprofiled runs get the exact same
+        # closures (and therefore bit-identical statistics) as before
+        # the profiling layer existed.
+        profile = stats.profile
         for body_index, charge_index in self._wraps:
             suffix = charges[charge_index:]
             if not suffix:
                 continue
-            cyc, n, items, loads, stores = self._aggregate(suffix)
+            cyc, n, items, loads, stores, micyc = self._aggregate(suffix)
             body[body_index] = _rollback(
-                body[body_index], stats, oc, cyc, n, items, loads, stores)
+                body[body_index], stats, oc, cyc, n, items, loads, stores,
+                micyc if profile else 0)
         for rb, charge_index in self._rb_cells:
             suffix = charges[charge_index:]
             if suffix:
-                rb[0], rb[1], rb[2], rb[3], rb[4] = self._aggregate(suffix)
+                rb[0], rb[1], rb[2], rb[3], rb[4], micyc = \
+                    self._aggregate(suffix)
+                if profile:
+                    rb[5] = micyc
         if not charges:
             return
-        cyc, n, items, loads, stores = self._aggregate(charges)
+        cyc, n, items, loads, stores, micyc = self._aggregate(charges)
+        if profile and micyc:
+            # Instrumentation-owned share of this block's static
+            # charges; the same sum the tree-walker accumulates
+            # per-instruction from the ``mi`` metadata.
+            def batch(frame):
+                stats.cycles += cyc
+                stats.instructions += n
+                for key, count in items:
+                    oc[key] += count
+                stats.loads += loads
+                stats.stores += stores
+                stats.instrumentation_cycles += micyc
+            body.insert(0, batch)
+            return
         if len(items) == 1:
             key, count = items[0]
             if loads or stores:
@@ -552,20 +584,24 @@ class _FunctionCompiler:
     # -- instruction dispatch ------------------------------------------
     def _compile_instruction(self, inst, body: List[Callable]) -> None:
         cls = type(inst)
+        mi = "mi" in inst.meta
         if cls is Load:
-            self._charge("load", costs.INSTRUCTION_COSTS["load"], loads=1)
+            self._charge("load", costs.INSTRUCTION_COSTS["load"], loads=1,
+                         mi=mi)
             body.append(self._compile_load(inst))
         elif cls is Store:
-            self._charge("store", costs.INSTRUCTION_COSTS["store"], stores=1)
+            self._charge("store", costs.INSTRUCTION_COSTS["store"], stores=1,
+                         mi=mi)
             body.append(self._compile_store(inst))
         elif cls is BinOp:
-            self._charge(inst.opcode, costs.INSTRUCTION_COSTS[inst.opcode])
+            self._charge(inst.opcode, costs.INSTRUCTION_COSTS[inst.opcode],
+                         mi=mi)
             self._compile_binop(inst, body)
         elif cls is GEP:
-            self._charge("gep", 1)
+            self._charge("gep", 1, mi=mi)
             self._compile_gep(inst, body)
         elif cls is ICmp:
-            self._charge("icmp", 1)
+            self._charge("icmp", 1, mi=mi)
             a = self._operand(inst.lhs)
             b = self._operand(inst.rhs)
             f = self._icmp_fn(inst)
@@ -574,7 +610,7 @@ class _FunctionCompiler:
             else:
                 body.append(self._bin_closure(self.slots[inst], a, b, f))
         elif cls is FCmp:
-            self._charge("fcmp", 2)
+            self._charge("fcmp", 2, mi=mi)
             a = self._operand(inst.lhs)
             b = self._operand(inst.rhs)
             f = FCMP_EVAL[inst.predicate]
@@ -583,15 +619,16 @@ class _FunctionCompiler:
             else:
                 body.append(self._bin_closure(self.slots[inst], a, b, f))
         elif cls is Cast:
-            self._charge(inst.opcode, costs.INSTRUCTION_COSTS[inst.opcode])
+            self._charge(inst.opcode, costs.INSTRUCTION_COSTS[inst.opcode],
+                         mi=mi)
             self._compile_cast(inst, body)
         elif cls is Select:
-            self._charge("select", 1)
+            self._charge("select", 1, mi=mi)
             self._compile_select(inst, body)
         elif cls is Call:
             self._compile_call(inst, body)
         elif cls is Alloca:
-            self._charge("alloca", 2)
+            self._charge("alloca", 2, mi=mi)
             self._emit_raising(body, self._compile_alloca(inst))
         elif cls is Phi:
             # A phi past the leading run: the tree-walker dispatches on
@@ -1483,13 +1520,40 @@ class _FunctionCompiler:
                     # through call_function, which raises (or resolves a
                     # late registration) exactly like the tree-walker.
                     self._emit_raising(body, self._generic_call(
-                        fn, getters, dst, inst.meta.get("mi_site")))
+                        fn, getters, dst, inst.meta.get("mi_site"),
+                        mi="mi" in inst.meta))
                     return
                 site = inst.meta.get("mi_site")
                 key = f"native:{fn.name}"
                 cost = costs.call_cost(fn.name)
                 oc = stats.opcode_counts
                 rb = self._new_rb()
+                if stats.profile and "mi" in inst.meta:
+                    # Profiled instrumentation call: attribute its full
+                    # cycle delta (static cost plus whatever the native
+                    # charges internally), exactly like the
+                    # tree-walker's per-instruction delta.  No
+                    # attribution on a raise, also like the tree-walker.
+                    def step(frame):
+                        try:
+                            args = [g(frame) for g in getters]
+                            if site is not None:
+                                args.append(site)
+                            c0 = stats.cycles
+                            stats.cycles += cost
+                            stats.instructions += 1
+                            oc[key] += 1
+                            stats.calls += 1
+                            result = impl(vm, args)
+                            stats.instrumentation_cycles += stats.cycles - c0
+                            if dst is not None:
+                                frame[dst] = result
+                        except BaseException:
+                            _unroll(stats, oc, rb)
+                            raise
+
+                    body.append(step)
+                    return
                 if site is None:
                     if dst is None:
                         def step(frame):
@@ -1586,8 +1650,22 @@ class _FunctionCompiler:
         self._emit_raising(body, step)
 
     def _generic_call(self, fn: Function, getters: List[Callable],
-                      dst: Optional[int], site) -> Callable:
+                      dst: Optional[int], site, mi: bool = False) -> Callable:
         call_function = self.vm.call_function
+        stats = self.stats
+
+        if mi and stats.profile:
+            def step(frame):
+                args = [g(frame) for g in getters]
+                if site is not None:
+                    args.append(site)
+                c0 = stats.cycles
+                result = call_function(fn, args)
+                stats.instrumentation_cycles += stats.cycles - c0
+                if dst is not None:
+                    frame[dst] = result
+
+            return step
 
         def step(frame):
             args = [g(frame) for g in getters]

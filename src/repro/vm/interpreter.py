@@ -115,12 +115,17 @@ class VirtualMachine:
         max_instructions: Optional[int] = 500_000_000,
         install_default_libc: bool = True,
         engine: str = "compiled",
+        profile: bool = False,
     ):
         if engine not in ENGINES:
             raise VMError(f"unknown engine {engine!r} (expected one of {ENGINES})")
         self.engine = engine
         self.module = module
         self.stats = stats or RuntimeStats()
+        if profile:
+            # Must be set before any function is compiled/executed: the
+            # compiled tier specializes its charging closures on it.
+            self.stats.profile = True
         self.max_instructions = max_instructions
         self.memory = Memory()
         self.heap = StandardAllocator(self.memory)
@@ -287,6 +292,8 @@ class VirtualMachine:
 
     def _interpret(self, fn: Function, frame: Dict[Value, object]):
         stats = self.stats
+        profile = stats.profile
+        c0 = 0
         block = fn.entry
         prev: Optional[BasicBlock] = None
         while True:
@@ -308,6 +315,8 @@ class VirtualMachine:
                 inst = instructions[index]
                 index += 1
                 cls = type(inst)
+                if profile:
+                    c0 = stats.cycles
                 if cls is Load:
                     stats.charge("load", _LOAD_COST)
                     stats.loads += 1
@@ -375,6 +384,12 @@ class VirtualMachine:
                     raise VMError("executed 'unreachable'")
                 else:
                     raise VMError(f"cannot interpret instruction: {inst}")
+                if profile and "mi" in inst.meta:
+                    # Attribute everything this instruction charged
+                    # (including natives' internal charges) to the
+                    # instrumentation.  Terminators break/return above
+                    # and are never instrumentation code.
+                    stats.instrumentation_cycles += stats.cycles - c0
 
             if next_block is None:
                 raise VMError(f"block {block.name} fell through without terminator")

@@ -48,20 +48,46 @@ class RuntimeStats:
 
     per_site: Dict[str, Counter] = field(default_factory=dict)
 
+    # Opt-in profiling (``repro profile``).  When ``profile`` is off the
+    # extra per-site fields are never touched, so aggregates stay
+    # bit-identical to unprofiled runs; when it is on, per-site cycle
+    # attribution and dynamic wide-bounds reasons are collected too.
+    profile: bool = False
+    instrumentation_cycles: int = 0
+
     def charge(self, opcode: str, cycles: int) -> None:
         self.cycles += cycles
         self.instructions += 1
         self.opcode_counts[opcode] += 1
 
-    def record_check(self, site: str, wide: bool) -> None:
+    def record_check(
+        self,
+        site: str,
+        wide: bool,
+        cost: int = 0,
+        reason: str = None,
+    ) -> None:
         self.checks_executed += 1
         counter = self.per_site.get(site)
         if counter is None:
             counter = self.per_site[site] = Counter()
         counter["executed"] += 1
+        if self.profile:
+            counter["cycles"] += cost
         if wide:
             self.checks_wide += 1
             counter["wide"] += 1
+            if self.profile and reason is not None:
+                counter["reason:" + reason] += 1
+
+    def record_invariant(self, site: str, cost: int = 0) -> None:
+        self.invariant_checks += 1
+        if self.profile:
+            counter = self.per_site.get(site)
+            if counter is None:
+                counter = self.per_site[site] = Counter()
+            counter["invariant"] += 1
+            counter["cycles"] += cost
 
     @property
     def unsafe_percent(self) -> float:
@@ -85,4 +111,11 @@ class RuntimeStats:
             f"low-fat allocs:    {self.lowfat_allocs} "
             f"({self.lowfat_fallback_allocs} fell back to standard malloc)",
         ]
+        if self.profile:
+            pct = (100.0 * self.instrumentation_cycles / self.cycles
+                   if self.cycles else 0.0)
+            lines.append(
+                f"instr. cycles:     {self.instrumentation_cycles} "
+                f"({pct:.2f}% of total)"
+            )
         return "\n".join(lines)

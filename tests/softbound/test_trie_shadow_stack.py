@@ -60,6 +60,53 @@ class TestTrie:
         # the destination keeps whatever was there before
         assert trie.load(0x5000) is None
 
+    def test_copy_range_overlap_forward(self):
+        """Regression: overlapping copy with dest > src must walk the
+        slots descending (memmove semantics).  An ascending walk reads
+        slots it has already overwritten and smears the first entry
+        across the whole destination range."""
+        trie = MetadataTrie()
+        trie.store(0x1000, 1, 2)
+        trie.store(0x1008, 3, 4)
+        trie.store(0x1010, 5, 6)
+        copied = trie.copy_range(0x1008, 0x1000, 24)
+        assert copied == 3
+        assert trie.load(0x1008) == (1, 2)
+        assert trie.load(0x1010) == (3, 4)
+        assert trie.load(0x1018) == (5, 6)
+
+    def test_copy_range_overlap_backward(self):
+        """dest < src overlap: ascending order is the correct one."""
+        trie = MetadataTrie()
+        trie.store(0x1008, 1, 2)
+        trie.store(0x1010, 3, 4)
+        trie.store(0x1018, 5, 6)
+        copied = trie.copy_range(0x1000, 0x1008, 24)
+        assert copied == 3
+        assert trie.load(0x1000) == (1, 2)
+        assert trie.load(0x1008) == (3, 4)
+        assert trie.load(0x1010) == (5, 6)
+
+    def test_copy_range_clears_stale_destination_slots(self):
+        """Regression: a source slot without metadata overwrites the
+        destination *bytes*, so the destination's old trie entry must
+        be cleared -- otherwise the copy resurrects stale bounds for
+        whatever non-pointer data just landed there (Section 4.5)."""
+        trie = MetadataTrie()
+        trie.store(0x5000, 11, 22)      # stale entry at the destination
+        trie.store(0x5008, 33, 44)
+        trie.store(0x1008, 7, 8)        # source: slot 0 empty, slot 1 set
+        copied = trie.copy_range(0x5000, 0x1000, 16)
+        assert copied == 1
+        assert trie.load(0x5000) is None        # cleared, not stale
+        assert trie.load(0x5008) == (7, 8)
+
+    def test_copy_range_clear_does_not_count_as_copied(self):
+        trie = MetadataTrie()
+        trie.store(0x5000, 1, 2)
+        assert trie.copy_range(0x5000, 0x1000, 8) == 0
+        assert trie.load(0x5000) is None
+
     @given(st.lists(st.tuples(st.integers(0, 1 << 47),
                               st.integers(0, 1 << 47),
                               st.integers(0, 1 << 47)),

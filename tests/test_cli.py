@@ -168,6 +168,62 @@ int main() {
         assert "error" in capsys.readouterr().err
 
 
+class TestProfile:
+    def test_profile_source_file(self, demo_c, capsys):
+        assert main(["profile", demo_c, "-mi-config=softbound"]) == 0
+        out = capsys.readouterr().out
+        assert "approach: softbound" in out
+        assert "Hottest check sites" in out
+        assert "Wide-bounds attribution" in out
+
+    def test_profile_workload_by_name(self, capsys):
+        assert main(["profile", "164gzip", "-mi-config=softbound"]) == 0
+        out = capsys.readouterr().out
+        # the paper's Table 2 attribution, measured
+        assert "sizeless-extern-array" in out
+
+    def test_profile_json_schema_and_sums(self, capsys):
+        import json
+
+        assert main(["profile", "429mcf", "-mi-config=lowfat",
+                     "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["approach"] == "lowfat"
+        assert {"totals", "site_count", "sums", "sites",
+                "wide_sites"} <= set(payload)
+        assert payload["sums"]["executed"] \
+            == payload["totals"]["checks_executed"]
+        assert payload["sums"]["wide"] == payload["totals"]["checks_wide"]
+        assert payload["totals"]["checks_wide"] > 0      # the >1GiB alloc
+        wide_total = sum(
+            sum(s["reasons"].values()) for s in payload["wide_sites"])
+        assert wide_total == payload["totals"]["checks_wide"]
+
+    def test_profile_top_limits_sites(self, capsys):
+        import json
+
+        assert main(["profile", "164gzip", "-mi-config=softbound",
+                     "--format", "json", "--top", "3"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["sites"]) == 3
+        assert payload["site_count"] > 3
+
+    def test_profile_requires_instrumented_config(self, demo_c, capsys):
+        assert main(["profile", demo_c]) == 2
+        err = capsys.readouterr().err
+        assert "instrumented configuration" in err
+
+    def test_profile_engines_agree(self, capsys):
+        import json
+
+        payloads = []
+        for engine in ("interp", "compiled"):
+            assert main(["profile", "181mcf", "-mi-config=lowfat",
+                         "--engine", engine, "--format", "json"]) == 0
+            payloads.append(json.loads(capsys.readouterr().out))
+        assert payloads[0] == payloads[1]
+
+
 class TestBench:
     def test_bench_runs(self, capsys):
         assert main(["bench", "197parser", "-mi-config=softbound"]) == 0

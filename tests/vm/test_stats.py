@@ -44,3 +44,42 @@ class TestCheckRecording:
         assert "1 wide" in text
         assert "invariant checks:  4" in text
         assert "2 loads" in text
+
+
+class TestProfiling:
+    def test_cost_and_reason_only_recorded_when_profiling(self):
+        stats = RuntimeStats()
+        stats.record_check("s", wide=True, cost=9, reason="oversized")
+        counter = stats.per_site["s"]
+        assert counter["executed"] == 1 and counter["wide"] == 1
+        assert "cycles" not in counter
+        assert "reason:oversized" not in counter
+
+    def test_profiled_check_attributes_cost_and_reason(self):
+        stats = RuntimeStats()
+        stats.profile = True
+        stats.record_check("s", wide=True, cost=9, reason="oversized")
+        stats.record_check("s", wide=False, cost=9)
+        counter = stats.per_site["s"]
+        assert counter["executed"] == 2
+        assert counter["wide"] == 1
+        assert counter["cycles"] == 18
+        assert counter["reason:oversized"] == 1
+
+    def test_record_invariant_per_site_is_profile_gated(self):
+        stats = RuntimeStats()
+        stats.record_invariant("s", cost=9)
+        assert stats.invariant_checks == 1
+        assert "s" not in stats.per_site      # unprofiled: aggregate only
+        stats.profile = True
+        stats.record_invariant("s", cost=9)
+        assert stats.invariant_checks == 2
+        assert stats.per_site["s"]["invariant"] == 1
+        assert stats.per_site["s"]["cycles"] == 9
+
+    def test_summary_shows_instrumentation_cycles_when_profiling(self):
+        stats = RuntimeStats()
+        stats.instrumentation_cycles = 12
+        assert "instr. cycles" not in stats.summary()
+        stats.profile = True
+        assert "instr. cycles" in stats.summary()
