@@ -132,6 +132,41 @@ def _build_parser() -> argparse.ArgumentParser:
     lint_p.add_argument("--format", choices=("text", "json"),
                         default="text", help="output format")
 
+    fuzz_p = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing: generated defined-behaviour "
+             "programs through the {engine x mechanism x filter} matrix",
+    )
+    fuzz_p.add_argument("--seed", type=int, default=0,
+                        help="corpus seed (default: 0)")
+    fuzz_p.add_argument("--count", type=int, default=100,
+                        help="number of generated programs (default: 100)")
+    fuzz_p.add_argument("--matrix", choices=("full", "quick"),
+                        default="full",
+                        help="full: 7 configs x both VM engines; "
+                             "quick: 3 configs, compiled engine only")
+    fuzz_p.add_argument("--jobs", "-j", type=int, default=0, metavar="N",
+                        help="worker processes (default: 0 = all cores)")
+    fuzz_p.add_argument("--minimize", action="store_true",
+                        help="delta-debug each mismatching program to a "
+                             "minimal reproducer")
+    fuzz_p.add_argument("--max-instructions", type=int, default=5_000_000,
+                        help="per-run instruction budget")
+    fuzz_p.add_argument("--job-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-job time limit; overruns become "
+                             "harness-failure mismatches")
+    fuzz_p.add_argument("--coverage", action="store_true",
+                        help="include AST-kind / IR-opcode coverage "
+                             "accounting in the report")
+    fuzz_p.add_argument("--format", choices=("text", "json"),
+                        default="text", help="report format")
+    fuzz_p.add_argument("--output", "-o", default=None, metavar="FILE",
+                        help="write the report to FILE instead of stdout")
+    fuzz_p.add_argument("--emit-dir", default=None, metavar="DIR",
+                        help="write mismatching programs (and minimized "
+                             "reproducers) into DIR")
+
     from .experiments.runner import add_engine_arguments
 
     for name, (_, _, help_text) in EXPERIMENT_COMMANDS.items():
@@ -242,6 +277,85 @@ def _run_profile(args, config: InstrumentationConfig) -> int:
     return 0
 
 
+def _run_fuzz(args) -> int:
+    import json as json_mod
+    import os
+
+    from .fuzz import (DifferentialOracle, MATRICES, corpus_coverage,
+                       generate_corpus, minimize_mismatch)
+
+    if args.count <= 0:
+        raise ConfigError("--count must be positive")
+    jobs = args.jobs if args.jobs > 0 else (os.cpu_count() or 1)
+    oracle = DifferentialOracle(
+        matrix=MATRICES[args.matrix],
+        jobs=jobs,
+        max_instructions=args.max_instructions,
+        job_timeout=args.job_timeout,
+    )
+    programs = generate_corpus(args.seed, args.count)
+
+    def progress(done: int, total: int, bad: int) -> None:
+        print(f"[fuzz] {done}/{total} programs, {bad} mismatch(es)",
+              file=sys.stderr)
+
+    report = oracle.run(programs, seed=args.seed, progress=progress,
+                        batch=max(jobs, 4))
+    if args.coverage:
+        report.coverage = corpus_coverage(programs)
+
+    minimized = {}
+    if args.minimize and report.mismatches:
+        for mismatch in report.mismatches:
+            if mismatch.program in minimized:
+                continue
+            print(f"[fuzz] minimizing {mismatch.program} "
+                  f"({mismatch.kind})", file=sys.stderr)
+            try:
+                minimized[mismatch.program] = minimize_mismatch(
+                    mismatch, oracle)
+            except ValueError as exc:
+                # a flaky / non-reproducing mismatch must not take the
+                # report (and the CI artifact) down with it
+                print(f"[fuzz] cannot minimize {mismatch.program}: "
+                      f"{exc}", file=sys.stderr)
+
+    if args.emit_dir and report.mismatches:
+        os.makedirs(args.emit_dir, exist_ok=True)
+        for mismatch in report.mismatches:
+            for unit, text in mismatch.sources.items():
+                path = os.path.join(args.emit_dir,
+                                    f"{mismatch.program}.{unit}")
+                with open(path, "w") as handle:
+                    handle.write(text)
+        for name, sources in minimized.items():
+            for unit, text in sources.items():
+                path = os.path.join(args.emit_dir, f"{name}.min.{unit}")
+                with open(path, "w") as handle:
+                    handle.write(text)
+
+    if args.format == "json":
+        doc = report.to_json(include_sources=True)
+        if minimized:
+            doc["minimized"] = minimized
+        text = json_mod.dumps(doc, indent=2)
+    else:
+        parts = [report.summary()]
+        for name, sources in minimized.items():
+            parts.append(f"-- minimized reproducer for {name}:")
+            for unit, unit_text in sources.items():
+                parts.append(f"// {unit}\n{unit_text}")
+        text = "\n".join(parts)
+
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text if text.endswith("\n") else text + "\n")
+        print(f"written to {args.output}")
+    else:
+        print(text)
+    return 0 if report.ok else 1
+
+
 def _run_experiment(args, parser) -> int:
     import importlib
 
@@ -300,6 +414,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "profile":
         try:
             return _run_profile(args, config)
+        except ConfigError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        except OSError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+
+    if args.command == "fuzz":
+        try:
+            return _run_fuzz(args)
         except ConfigError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2

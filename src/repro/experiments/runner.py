@@ -60,6 +60,12 @@ class JobRequest:
     whether the engine schedules the workload's baseline first and
     compares outputs against it (the transparency check); ablation
     runs that *expect* spurious violations turn it off.
+
+    ``engine`` overrides the engine-wide VM execution tier
+    (``vm_engine``) for this one job, which lets a single batch mix
+    ``compiled`` and ``interp`` cells -- the differential fuzzing
+    oracle schedules the whole engine matrix through one
+    :meth:`ExperimentEngine.run_many` wave this way.
     """
 
     workload: Workload
@@ -69,6 +75,7 @@ class JobRequest:
     lf_region_capacity: Optional[int] = None
     max_instructions: Optional[int] = None
     validate_output: bool = True
+    engine: Optional[str] = None
 
     def config(self) -> Optional[InstrumentationConfig]:
         if self.config_override is not None:
@@ -219,12 +226,18 @@ class ExperimentEngine:
 
         def admit(request: JobRequest) -> str:
             payload = self._payload(request)
-            key = job_key(payload)
+            # ``engine`` is a non-key cache field (the two VM tiers are
+            # bit-identical by contract), but the in-process memo must
+            # keep mixed-engine batches apart or the second engine's
+            # cells would be served from the first's results -- which
+            # would make any engine-differential comparison vacuous.
+            key = f"{job_key(payload)}|{payload['engine']}"
             if key in self._memo or key in pending_baselines \
                     or key in pending_rest:
                 return key
             self._payloads[key] = payload
-            cached = self.cache.get(key) if self.cache is not None else None
+            cached = (self.cache.get(job_key(payload))
+                      if self._cache_covers(payload) else None)
             if cached is not None:
                 self._memo[key] = BenchResult.from_json(cached)
                 self._disk_hits.append(key)
@@ -235,7 +248,8 @@ class ExperimentEngine:
                 pending_rest[key] = payload
                 if request.validate_output:
                     needs_reference[key] = admit(
-                        JobRequest(request.workload, "baseline"))
+                        JobRequest(request.workload, "baseline",
+                                   engine=request.engine))
             return key
 
         for request in requests:
@@ -275,8 +289,18 @@ class ExperimentEngine:
             "lf_region_capacity": request.lf_region_capacity,
             "reference_output": None,
             "timeout": self.job_timeout,
-            "engine": self.vm_engine,
+            "engine": request.engine or self.vm_engine,
         }
+
+    def _cache_covers(self, payload: dict) -> bool:
+        """The disk cache speaks for the engine-wide ``vm_engine`` only.
+
+        Per-request engine overrides bypass it: serving (or storing)
+        an override's result under the engine-agnostic key would let a
+        ``compiled`` entry answer an ``interp`` job, and the whole
+        point of mixed-engine batches is to *check* that those agree.
+        """
+        return self.cache is not None and payload["engine"] == self.vm_engine
 
     def _execute(self, pending: Dict[str, dict]) -> None:
         if not pending:
@@ -291,8 +315,8 @@ class ExperimentEngine:
             result = self._materialize(payload, outcome)
             self._memo[key] = result
             self.executed_jobs += 1
-            if self.cache is not None and result.status != "failed":
-                self.cache.put(key, result.to_json(), describe={
+            if self._cache_covers(payload) and result.status != "failed":
+                self.cache.put(job_key(payload), result.to_json(), describe={
                     "workload": payload["workload"],
                     "label": payload["label"],
                     "extension_point": payload["extension_point"],

@@ -1,0 +1,56 @@
+"""At-scale differential fuzzing of the instrumentation stack.
+
+The paper's transparency claim -- an instrumentation must never change
+*defined* behaviour, only catch undefined behaviour -- is tested here
+by construction: :mod:`.generator` emits seeded MiniC programs whose
+behaviour is fully defined, :mod:`.oracle` runs each one through the
+whole {VM engine} x {mechanism} x {check filter} matrix and compares
+every observable, and :mod:`.reduce` shrinks any disagreement to a
+minimal reproducer with delta debugging.
+
+``python -m repro fuzz`` is the CLI entry point (see ``cli.py``).
+"""
+
+from .generator import (
+    CODEGEN_OPCODES,
+    CoverageReport,
+    GeneratedProgram,
+    ast_node_kinds,
+    corpus_coverage,
+    expected_node_kinds,
+    generate_corpus,
+    generate_program,
+    ir_opcodes,
+)
+from .oracle import (
+    FULL_MATRIX,
+    MATRICES,
+    QUICK_MATRIX,
+    DifferentialOracle,
+    FuzzReport,
+    Matrix,
+    Mismatch,
+)
+from .reduce import ddmin, minimize_mismatch, reduce_source
+
+__all__ = [
+    "CODEGEN_OPCODES",
+    "CoverageReport",
+    "DifferentialOracle",
+    "FULL_MATRIX",
+    "FuzzReport",
+    "GeneratedProgram",
+    "MATRICES",
+    "Matrix",
+    "Mismatch",
+    "QUICK_MATRIX",
+    "ast_node_kinds",
+    "corpus_coverage",
+    "ddmin",
+    "expected_node_kinds",
+    "generate_corpus",
+    "generate_program",
+    "ir_opcodes",
+    "minimize_mismatch",
+    "reduce_source",
+]

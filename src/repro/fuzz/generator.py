@@ -1,0 +1,812 @@
+"""Seeded, Csmith-style MiniC program generator.
+
+Every program this module emits has **fully defined behaviour**: array
+indices are masked into power-of-two bounds, integer divisors are
+forced nonzero, shift amounts are masked below the bit width, loops
+carry constant or monotonically decreasing trip counts, recursion is
+depth-guarded, doubles are kept bounded before any float->int cast,
+strings always stay NUL-terminated inside their buffer, and pointer
+*addresses* never reach program output (only same-object comparisons
+and differences, whose results do not depend on allocator layout).
+
+That discipline is what makes the differential oracle sound: if two
+cells of the {engine x mechanism x filter} matrix disagree on one of
+these programs, the disagreement is a bug in the toolchain, never
+"the program was allowed to do that".
+
+The generator is deterministic: ``generate_program(seed, index)`` uses
+a :class:`random.Random` seeded from ``(seed, index)`` only, so the
+same arguments always produce byte-identical source text, on any
+platform and in any process.
+
+Coverage accounting lives here too: :func:`corpus_coverage` reports
+which frontend AST node kinds and which IR opcodes a corpus actually
+exercises, against the sets the frontend defines
+(:func:`expected_node_kinds`) and codegen can emit
+(:data:`CODEGEN_OPCODES`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import inspect
+import random
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+from ..frontend import ast as cast
+from ..frontend import compile_source, parse
+from ..ir.instructions import CAST_OPS, FLOAT_BINOPS, INT_BINOPS
+
+#: IR opcodes the MiniC codegen can emit.  ``select`` exists in the IR
+#: but no frontend construct lowers to it (ternaries become control
+#: flow + phi), and ``fptoui`` is unreachable because MiniC converts
+#: floating values through ``fptosi`` for every integer target.
+CODEGEN_OPCODES: FrozenSet[str] = frozenset(
+    {
+        "alloca", "load", "store", "gep", "phi",
+        "icmp", "fcmp", "ret", "br", "condbr", "call", "unreachable",
+    }
+    | set(INT_BINOPS)
+    | set(FLOAT_BINOPS)
+    | (set(CAST_OPS) - {"fptoui"})
+)
+
+
+def expected_node_kinds() -> FrozenSet[str]:
+    """All concrete expression/statement AST classes the frontend defines."""
+    kinds: Set[str] = set()
+    for obj in vars(cast).values():
+        if not inspect.isclass(obj):
+            continue
+        if obj in (cast.Expr, cast.Stmt):
+            continue
+        if issubclass(obj, (cast.Expr, cast.Stmt)):
+            kinds.add(obj.__name__)
+    return frozenset(kinds)
+
+
+@dataclass(frozen=True)
+class GeneratedProgram:
+    """One generated workload: a name, its seeds, and its source units."""
+
+    name: str
+    seed: int
+    index: int
+    sources: Dict[str, str]
+    features: Tuple[str, ...] = ()
+
+    @property
+    def main_source(self) -> str:
+        return self.sources["main.c"]
+
+
+# ---------------------------------------------------------------------------
+# expression generation
+# ---------------------------------------------------------------------------
+
+#: ``(name, mask)`` for every always-present int-element array; an index
+#: expression ``(e) & mask`` is in bounds by construction.
+_INT_ARRAYS = (("g_i", 15), ("l_i", 7))
+
+_EXACT_DOUBLES = ("0.5", "1.25", "2.0", "0.75", "3.5", "0.0", "6.25", "12.5")
+
+
+@dataclass
+class _Scope:
+    """What the expression generator may reference at a given point."""
+
+    int_vars: List[str] = field(default_factory=list)
+    double_vars: List[str] = field(default_factory=list)
+    #: generator may call helpers / use globals, pointers, arrays
+    full: bool = False
+    #: the second translation unit (x_arr / x_val / x_mix) exists
+    two_unit: bool = False
+
+
+class _ExprGen:
+    """Generates defined-behaviour MiniC expressions as source text."""
+
+    def __init__(self, rng: random.Random, scope: _Scope):
+        self.rng = rng
+        self.scope = scope
+
+    # -- integers -------------------------------------------------------
+    def int_lit(self) -> str:
+        r = self.rng
+        roll = r.randrange(10)
+        if roll == 0:
+            return f"0x{r.randrange(256):x}"
+        if roll == 1:
+            return f"'{r.choice('aAkQz9 #')}'"
+        return str(r.randint(-99, 99))
+
+    def int_atom(self) -> str:
+        r = self.rng
+        scope = self.scope
+        choices: List[Callable[[], str]] = []
+        if scope.int_vars:
+            choices.append(lambda: r.choice(scope.int_vars))
+        if scope.full:
+            choices.extend([
+                lambda: self._indexed(),
+                lambda: r.choice(["g_s.a", "sp->a", "g_acc"]),
+                lambda: f"g_s.b[({self.int_expr(3)}) & 3]",
+                lambda: f"sp->b[({self.int_expr(3)}) & 3]",
+                lambda: f"(int)g_c[({self.int_expr(3)}) & 15]",
+                lambda: f"*(p + (({self.int_expr(3)}) & 7))",
+                lambda: f"*(q + (({self.int_expr(3)}) & 7))",
+                lambda: f"*(hp + (({self.int_expr(3)}) & 15))",
+                lambda: f"g_m[({self.int_expr(3)}) & 3][({self.int_expr(3)}) & 3]",
+            ])
+            if scope.two_unit:
+                choices.append(lambda: f"x_arr[({self.int_expr(3)}) & 15]")
+                choices.append(lambda: "x_val")
+        if not choices:
+            return self.int_lit()
+        return r.choice(choices)()
+
+    def _indexed(self) -> str:
+        name, mask = self.rng.choice(_INT_ARRAYS)
+        return f"{name}[({self.int_expr(3)}) & {mask}]"
+
+    def int_expr(self, depth: int = 0) -> str:
+        r = self.rng
+        if depth >= 3:
+            return self.int_lit() if r.randrange(2) else self.int_atom()
+        roll = r.randrange(20)
+        nxt = depth + 1
+        if roll <= 2:
+            return self.int_lit()
+        if roll <= 5:
+            return self.int_atom()
+        if roll == 6:
+            op = r.choice(["-", "~", "!"])
+            return f"({op}({self.int_expr(nxt)}))"
+        if roll <= 9:
+            op = r.choice(["+", "-", "*", "&", "|", "^"])
+            return f"(({self.int_expr(nxt)}) {op} ({self.int_expr(nxt)}))"
+        if roll == 10:
+            op = r.choice(["/", "%"])
+            return (f"(({self.int_expr(nxt)}) {op} "
+                    f"((({self.int_expr(nxt)}) & 15) + 1))")
+        if roll == 11:
+            op = r.choice(["<<", ">>"])
+            return (f"(({self.int_expr(nxt)}) {op} "
+                    f"(({self.int_expr(nxt)}) & 7))")
+        if roll == 12:
+            op = r.choice(["<", "<=", ">", ">=", "==", "!="])
+            return f"(({self.int_expr(nxt)}) {op} ({self.int_expr(nxt)}))"
+        if roll == 13:
+            op = r.choice(["&&", "||"])
+            return f"(({self.int_expr(nxt)}) {op} ({self.int_expr(nxt)}))"
+        if roll == 14:
+            return (f"(({self.cond_expr(nxt)}) ? "
+                    f"({self.int_expr(nxt)}) : ({self.int_expr(nxt)}))")
+        if roll == 15:
+            ty = r.choice(["int", "long", "unsigned", "char"])
+            return f"(({ty})({self.int_expr(nxt)}))"
+        if roll == 16:
+            # double round trip, bounded so fptosi is always defined
+            return f"((long)((double)(({self.int_expr(nxt)}) & 255)))"
+        if roll == 17 and self.scope.full:
+            return self.int_call(nxt)
+        if roll == 18 and self.scope.full:
+            return self.pointer_int(nxt)
+        return self.int_atom()
+
+    def int_call(self, depth: int) -> str:
+        r = self.rng
+        a = self.int_expr(depth)
+        b = self.int_expr(depth)
+        roll = r.randrange(5)
+        if roll == 0:
+            return f"mix0({a}, {b})"
+        if roll == 1:
+            return f"mix1({a}, {b})"
+        if roll == 2:
+            return f"fp({a}, {b})"
+        if roll == 3:
+            return f"rec0((({a}) & 3) + 2, ({b}) & 15)"
+        return f"pick(({a}) & 63)"
+
+    def pointer_int(self, depth: int) -> str:
+        """Integer-valued pointer expressions whose results do not
+        depend on allocator layout (same-object comparison/difference
+        only -- never a raw address)."""
+        r = self.rng
+        roll = r.randrange(4)
+        if roll == 0:
+            return f"((q + (({self.int_expr(depth)}) & 7)) - q)"
+        if roll == 1:
+            a = self.int_expr(depth)
+            b = self.int_expr(depth)
+            return f"((p + (({a}) & 7)) < (p + (({b}) & 7)))"
+        if roll == 2:
+            return "(p == np)"
+        return "(q != (long *)0)"
+
+    def cond_expr(self, depth: int = 2) -> str:
+        r = self.rng
+        roll = r.randrange(4)
+        if roll == 0:
+            op = r.choice(["<", "<=", ">", ">=", "==", "!="])
+            return f"(({self.int_expr(depth)}) {op} ({self.int_expr(depth)}))"
+        if roll == 1:
+            op = r.choice(["&&", "||"])
+            return (f"((({self.int_expr(depth)}) > {r.randint(-9, 9)}) {op} "
+                    f"(({self.int_expr(depth)}) != {r.randint(-9, 9)}))")
+        if roll == 2:
+            return f"(!(({self.int_expr(depth)}) & {r.randrange(1, 8)}))"
+        return f"(({self.int_expr(depth)}) & 1)"
+
+    # -- doubles --------------------------------------------------------
+    def double_atom(self) -> str:
+        r = self.rng
+        choices = [lambda: r.choice(_EXACT_DOUBLES)]
+        if self.scope.double_vars:
+            choices.append(lambda: r.choice(self.scope.double_vars))
+        if self.scope.full:
+            choices.extend([
+                lambda: f"g_d[({self.int_expr(3)}) & 7]",
+                lambda: r.choice(["g_s.c", "sp->c"]),
+                lambda: f"((double)(({self.int_expr(3)}) & 255))",
+            ])
+        return r.choice(choices)()
+
+    def double_expr(self, depth: int = 0) -> str:
+        r = self.rng
+        if depth >= 2:
+            return self.double_atom()
+        roll = r.randrange(8)
+        nxt = depth + 1
+        if roll <= 2:
+            return self.double_atom()
+        if roll <= 4:
+            op = r.choice(["+", "-", "*"])
+            return f"(({self.double_expr(nxt)}) {op} ({self.double_expr(nxt)}))"
+        if roll == 5:
+            return (f"(({self.double_expr(nxt)}) / "
+                    f"((double)((({self.int_expr(nxt)}) & 7) + 1)))")
+        if roll == 6:
+            return f"(({self.double_expr(nxt)}) % {r.choice(['2.5', '3.25', '1.5'])})"
+        return f"(-({self.double_expr(nxt)}))"
+
+
+# ---------------------------------------------------------------------------
+# program generation
+# ---------------------------------------------------------------------------
+
+class _Writer:
+    def __init__(self) -> None:
+        self.lines: List[str] = []
+        self.indent = 0
+
+    def emit(self, text: str = "") -> None:
+        if not text:
+            self.lines.append("")
+            return
+        self.lines.append("    " * self.indent + text)
+
+    def open(self, text: str) -> None:
+        self.emit(text)
+        self.indent += 1
+
+    def close(self, text: str = "}") -> None:
+        self.indent -= 1
+        self.emit(text)
+
+    def render(self) -> str:
+        return "\n".join(self.lines) + "\n"
+
+
+class _ProgramBuilder:
+    def __init__(self, rng: random.Random, two_unit: bool):
+        self.rng = rng
+        self.two_unit = two_unit
+        self.scope = _Scope(
+            int_vars=["v0", "v1", "v2", "v3", "v4"],
+            double_vars=["f0"],
+            full=True,
+            two_unit=two_unit,
+        )
+        self.gen = _ExprGen(rng, self.scope)
+        self.features: Set[str] = {"struct", "nested-array", "heap",
+                                   "function-pointer", "recursion"}
+        if two_unit:
+            self.features.add("two-unit")
+            self.features.add("sizeless-extern-array")
+        self.w = _Writer()
+        self._uid = 0
+
+    def uid(self) -> int:
+        self._uid += 1
+        return self._uid
+
+    # -- statements -----------------------------------------------------
+    def random_stmt(self, depth: int = 0) -> None:
+        r = self.rng
+        g = self.gen
+        w = self.w
+        roll = r.randrange(20 if depth < 2 else 12)
+        if roll <= 2:
+            var = r.choice(self.scope.int_vars)
+            op = r.choice(["=", "+=", "-=", "^=", "&=", "|=", "*="])
+            w.emit(f"{var} {op} {g.int_expr()};")
+        elif roll == 3:
+            var = r.choice(self.scope.int_vars)
+            if r.randrange(2):
+                w.emit(f"{var} <<= ({g.int_expr(2)}) & 7;")
+            else:
+                w.emit(f"{var} /= (({g.int_expr(2)}) & 7) + 1;")
+        elif roll == 4:
+            tgt = r.choice(["f0", f"g_d[({g.int_expr(2)}) & 7]",
+                            "g_s.c", "sp->c"])
+            op = r.choice(["=", "+=", "-=", "*="])
+            w.emit(f"{tgt} {op} {g.double_expr()};")
+            self.features.add("float")
+        elif roll == 5:
+            name, mask = r.choice(_INT_ARRAYS)
+            w.emit(f"{name}[({g.int_expr()}) & {mask}] = {g.int_expr()};")
+        elif roll == 6:
+            w.emit(f"g_m[({g.int_expr(2)}) & 3][({g.int_expr(2)}) & 3] "
+                   f"= {g.int_expr()};")
+        elif roll == 7:
+            tgt = r.choice(["g_s.a", "sp->a",
+                            f"g_s.b[({g.int_expr(2)}) & 3]",
+                            f"sp->b[({g.int_expr(2)}) & 3]"])
+            w.emit(f"{tgt} = {g.int_expr()};")
+        elif roll == 8:
+            ptr, mask = r.choice([("p", 7), ("q", 7), ("hp", 15)])
+            w.emit(f"*({ptr} + (({g.int_expr(2)}) & {mask})) = {g.int_expr()};")
+        elif roll == 9:
+            tgt = r.choice([r.choice(self.scope.int_vars),
+                            f"g_i[({g.int_expr(2)}) & 15]"])
+            w.emit(f"{tgt}{r.choice(['++', '--'])};")
+        elif roll == 10:
+            # stores stay below index 16 so g_c[31] == 0 survives and
+            # every later strlen/strcmp stays inside the buffer
+            w.emit(f"g_c[({g.int_expr(2)}) & 15] = "
+                   f"(char)(({g.int_expr(2)}) & 127);")
+            self.features.add("strings")
+        elif roll == 11:
+            var = r.choice(self.scope.int_vars)
+            w.emit(f"{var} = {g.int_call(1)};")
+        elif roll == 12:
+            self.if_stmt(depth)
+        elif roll == 13:
+            self.for_stmt(depth)
+        elif roll == 14:
+            self.while_stmt(depth)
+        elif roll == 15:
+            self.do_while_stmt(depth)
+        elif roll == 16:
+            self.local_block(depth)
+        elif roll == 17:
+            w.emit(f"fp = (({g.cond_expr()}) != 0) ? mix0 : mix1;")
+        elif roll == 18:
+            w.emit(f"p = &g_i[{r.randrange(0, 9)}];")
+        else:
+            self.mem_stmt()
+
+    def if_stmt(self, depth: int) -> None:
+        w = self.w
+        w.open(f"if ({self.gen.cond_expr()}) {{")
+        for _ in range(self.rng.randint(1, 2)):
+            self.random_stmt(depth + 1)
+        if self.rng.randrange(2):
+            w.close("} else {")
+            w.indent += 1
+            for _ in range(self.rng.randint(1, 2)):
+                self.random_stmt(depth + 1)
+        w.close()
+
+    def for_stmt(self, depth: int) -> None:
+        r = self.rng
+        w = self.w
+        i = f"i{self.uid()}"
+        trip = r.randint(2, 6)
+        w.open(f"for (int {i} = 0; {i} < {trip}; {i}++) {{")
+        if r.randrange(3) == 0:
+            w.emit(f"if ({i} == {r.randrange(trip)}) {{ continue; }}")
+        for _ in range(r.randint(1, 2)):
+            self.random_stmt(depth + 1)
+        if r.randrange(3) == 0:
+            w.emit(f"if ({i} > {r.randrange(1, trip + 1)}) {{ break; }}")
+        w.close()
+
+    def while_stmt(self, depth: int) -> None:
+        r = self.rng
+        w = self.w
+        n = f"n{self.uid()}"
+        w.emit(f"int {n} = {r.randint(2, 6)};")
+        w.open(f"while ({n} > 0) {{")
+        w.emit(f"{n} = {n} - 1;")
+        for _ in range(r.randint(1, 2)):
+            self.random_stmt(depth + 1)
+        w.close()
+
+    def do_while_stmt(self, depth: int) -> None:
+        r = self.rng
+        w = self.w
+        n = f"n{self.uid()}"
+        w.emit(f"int {n} = {r.randint(1, 5)};")
+        w.open("do {")
+        w.emit(f"{n} = {n} - 1;")
+        for _ in range(r.randint(1, 2)):
+            self.random_stmt(depth + 1)
+        w.close(f"}} while ({n} > 0);")
+
+    def local_block(self, depth: int) -> None:
+        r = self.rng
+        w = self.w
+        t = f"t{self.uid()}"
+        w.open("{")
+        w.emit(f"long {t} = {self.gen.int_expr()};")
+        self.scope.int_vars.append(t)
+        for _ in range(r.randint(1, 2)):
+            self.random_stmt(depth + 1)
+        self.scope.int_vars.remove(t)
+        w.emit(f"{r.choice(['v2', 'g_acc'])} += ({t}) & 1023;")
+        w.close()
+
+    def mem_stmt(self) -> None:
+        r = self.rng
+        g = self.gen
+        w = self.w
+        roll = r.randrange(6)
+        self.features.add("memcpy-family")
+        if roll == 0:
+            w.emit("memcpy(l_i, g_i, 32);")
+        elif roll == 1:
+            w.emit(f"memset(g_c + 16, ({g.int_expr(2)}) & 63, 8);")
+            self.features.add("strings")
+        elif roll == 2:
+            w.emit("memmove(g_c + 2, g_c, 6);")
+            self.features.add("strings")
+        elif roll == 3:
+            w.emit(f"v2 += (long)strlen(g_c);")
+            self.features.add("strings")
+        elif roll == 4:
+            lit = r.choice(["fuzz", "abc", "mini"])
+            w.emit(f'v0 += (int)strcmp(g_c, "{lit}");')
+            self.features.add("strings")
+        else:
+            w.emit(f"memmove(hp + 2, hp, 48);")
+
+    # -- fixed sections -------------------------------------------------
+    def coverage_preamble(self) -> None:
+        """A deterministic-shape block (seeded constants) that touches
+        every AST node kind and every codegen-emittable opcode, so each
+        single program is a full-coverage workload on its own."""
+        r = self.rng
+        w = self.w
+
+        def k(lo: int = 1, hi: int = 9) -> int:
+            return r.randint(lo, hi)
+
+        w.emit("/* coverage preamble: every construct, seeded constants */")
+        w.emit(f"v0 = v0 + (g_i[(v1) & 15] - (v2 ^ {k()}));")
+        w.emit(f"u0 = (u0 | (unsigned)(v0 & 63)) / (((u0) & 7) + {k(1, 5)});")
+        w.emit(f"u0 = u0 % (((unsigned)v1 & 15) + {k(2, 7)});")
+        w.emit(f"u0 = u0 >> ((v0) & 7);")
+        w.emit(f"v2 = v2 << ((v1) & 15);")
+        w.emit(f"v2 = (v2 >> {k(1, 7)}) + v1 / (((v2) & 31) + 1);")
+        w.emit(f"v0 = v0 + v1 % (((v0) & 7) + {k(2, 5)});")
+        w.emit("v4 = (char)(v0 & 127);")
+        w.emit("v2 = v2 + (long)u0;")
+        w.emit(f"f0 = f0 * 1.5 + (double)(v0 & 255) - g_d[(v1) & 7];")
+        w.emit(f"f0 = f0 / ((double)((v0 & 7) + {k(1, 4)}));")
+        w.emit("f0 = (f0 % 2.5) + (double)u0;")
+        w.emit("f1 = (float)(f0 % 3.5);")
+        w.emit("f0 = f0 + (double)f1;")
+        w.emit("v0 = v0 + (int)((double)(v1 & 255));")
+        w.emit(f"v0 = v0 + (f0 > {r.choice(_EXACT_DOUBLES)}) - (f1 != 0.0);")
+        w.emit("if (p != np) { v0++; } else { v0--; }")
+        w.emit("v2 = v2 + ((q + ((v0) & 7)) - q);")
+        w.open("{")
+        w.emit("long adr = (long)(p + ((v1) & 7));")
+        w.emit("int *rp = (int *)adr;")
+        w.emit("v0 = v0 + *rp;")
+        w.close()
+        self.features.add("inttoptr-roundtrip")
+        w.open("{")
+        w.emit("char *cp = (char *)g_i;")
+        w.emit(f"v0 = v0 + (int)cp[(v2) & 63];")
+        w.close()
+        w.emit(f"v0 = (v1 > {k(0, 5)} && v2 < {k(6, 12)}) "
+               f"? pick(v0 & 63) : (v1 < {k(0, 3)} || v0 > {k()});")
+        w.emit(f"v1 = (v2 = v2 + {k()}, (int)(v2 & 31));")
+        w.emit("v1 = v1 + (int)sizeof(struct S0) - (int)sizeof(long);")
+        w.emit(f"v0 = v0 + '{r.choice('AQz#')}' - (-(~v1) + !v2);")
+        w.emit('strcpy(g_c, "fuzzcov");')
+        w.emit("v2 = v2 + (long)strlen(g_c);")
+        w.emit('v0 = v0 + (int)strcmp(g_c, "fuzzcov");')
+        w.emit("memmove(g_c + 2, g_c, 6);")
+        w.emit("memcpy(l_i, g_i, 32);")
+        w.emit(f"memset(g_c + 16, (v0) & 63, {k(4, 8)});")
+        self.features.add("memcpy-family")
+        self.features.add("strings")
+        w.emit("g_s.a = g_s.a + v2;")
+        w.emit("sp->c = sp->c + 0.25;")
+        w.emit("g_s.b[(v0) & 3] = sp->b[(v1) & 3] + 1;")
+        w.emit(f"g_m[(v0) & 3][(v1) & 3] = g_m[(v2) & 3][(v0) & 3] + {k()};")
+        w.open(f"{{ int w0 = {k(2, 5)}; do {{")
+        w.emit("v0 = v0 + w0;")
+        w.close(f"w0 = w0 - 1; }} while (w0 > 0); }}")
+        w.open(f"{{ int u1 = {k(3, 6)}; while (u1 > 0) {{")
+        w.emit("u1 = u1 - 1;")
+        w.emit("if (u1 == 2) { continue; }")
+        w.emit(f"if (u1 == {k(4, 5)}) {{ break; }}")
+        w.emit("v1 = v1 + u1;")
+        w.close("} }")
+        w.emit(f"fp = (v0 > {k(0, 5)}) ? mix1 : mix0;")
+        w.emit("v2 = v2 + fp(v2 & 1023, v1 & 511);")
+        w.emit(f"v2 = v2 + rec0((v0 & 3) + 2, v1 & 15);")
+        w.emit("hp = (long *)realloc(hp, 256);")
+        self.features.add("realloc")
+        w.emit("v2 = v2 + *(hp + ((v0) & 15));")
+        w.open("{")
+        w.emit("int *cz = (int *)calloc(8, 4);")
+        w.emit("v0 = v0 + cz[(v1) & 7];")
+        w.emit("free(cz);")
+        w.close()
+        if self.two_unit:
+            w.emit("v2 = v2 + x_mix((long)(v0 & 255));")
+            w.emit(f"x_arr[(v1) & 15] = x_arr[(v0) & 15] + {k()};")
+
+    def prints(self) -> None:
+        w = self.w
+        w.emit("/* observables */")
+        for v in ("v0", "v1", "v2", "v4"):
+            w.emit(f"print_i64((long){v});")
+        w.emit("print_i64((long)u0);")
+        w.emit("print_i64(g_acc);")
+        w.emit("print_f64(f0);")
+        w.emit("print_f64((double)f1);")
+        w.emit("print_f64(g_s.c);")
+        w.emit("print_i64(g_s.a);")
+        w.open("{ long cs = 0; for (int ci = 0; ci < 16; ci++) {")
+        w.emit("cs = cs * 31 + g_i[ci];")
+        w.close("} print_i64(cs); }")
+        w.open("{ long cs = 0; for (int ci = 0; ci < 8; ci++) {")
+        w.emit("cs = cs * 31 + g_l[ci] + (long)(g_d[ci] * 4.0);")
+        w.close("} print_i64(cs); }")
+        w.open("{ long cs = 0; for (int ci = 0; ci < 32; ci++) {")
+        w.emit("cs = cs * 7 + (long)g_c[ci];")
+        w.close("} print_i64(cs); }")
+        w.open("{ long cs = 0; for (int ci = 0; ci < 16; ci++) {")
+        w.emit("cs = cs + hp[ci] * (ci + 1);")
+        w.close("} print_i64(cs); }")
+        w.open("{ long cs = 0; for (int ci = 0; ci < 4; ci++) "
+               "{ for (int cj = 0; cj < 4; cj++) {")
+        w.emit("cs = cs * 17 + g_m[ci][cj];")
+        w.close("} } print_i64(cs); }")
+        w.open("{ long cs = 0; for (int ci = 0; ci < 4; ci++) {")
+        w.emit("cs = cs * 13 + g_s.b[ci] + l_i[ci];")
+        w.close("} print_i64(cs); }")
+        if self.two_unit:
+            w.open("{ long cs = 0; for (int ci = 0; ci < 16; ci++) {")
+            w.emit("cs = cs * 5 + x_arr[ci];")
+            w.close("} print_i64(cs); }")
+            w.emit("print_i64(x_val);")
+        w.emit('print_str("done");')
+
+    def helper_body(self) -> str:
+        """Small pure integer expression over params a/b."""
+        gen = _ExprGen(self.rng, _Scope(int_vars=["a", "b"]))
+        return gen.int_expr(1)
+
+    def build_main_unit(self) -> str:
+        r = self.rng
+        w = self.w
+        w.emit("/* generated by repro.fuzz.generator -- defined behaviour only */")
+        w.emit("struct S0 { long a; int b[4]; double c; };")
+        w.emit("")
+        if self.two_unit:
+            w.emit("extern int x_arr[];")
+            w.emit("extern long x_val;")
+            w.emit("long x_mix(long v);")
+            w.emit("")
+        w.emit(f"int g_i[16];")
+        w.emit(f"long g_l[8];")
+        w.emit(f"char g_c[32];")
+        w.emit(f"double g_d[8];")
+        w.emit(f"int g_m[4][4];")
+        w.emit(f"struct S0 g_s;")
+        w.emit(f"long g_acc = {r.randint(-50, 50)};")
+        w.emit("")
+        w.emit(f"static long mix0(long a, long b) {{ "
+               f"return ({self.helper_body()}) + a - b; }}")
+        w.emit(f"static long mix1(long a, long b) {{ "
+               f"return ({self.helper_body()}) ^ (a + b); }}")
+        w.emit("")
+        w.open("static long rec0(long d, long x) {")
+        w.emit("if (d <= 0) { return x; }")
+        w.emit(f"return rec0(d - 1, x + d) + {r.randint(1, 9)};")
+        w.close()
+        w.emit("")
+        w.open("static int pick(int x) {")
+        w.open(f"if (x > {r.randint(10, 40)}) {{")
+        w.emit(f"return x - {r.randint(1, 9)};")
+        w.close("} else {")
+        w.indent += 1
+        w.emit(f"return x + {r.randint(1, 9)};")
+        w.close()
+        w.close()
+        w.emit("")
+        w.open("int main() {")
+        w.emit(f"int v0 = {r.randint(-50, 50)};")
+        w.emit(f"int v1 = {r.randint(-50, 50)};")
+        w.emit(f"long v2 = {r.randint(-50, 50)};")
+        w.emit(f"int v3 = {r.randint(-50, 50)};")
+        w.emit(f"char v4 = {r.randint(0, 60)};")
+        w.emit(f"unsigned u0 = {r.randint(0, 99)}u;")
+        w.emit(f"double f0 = {r.choice(_EXACT_DOUBLES)};")
+        w.emit("float f1 = 0.0;")
+        w.emit("int l_i[8];")
+        w.emit("int *np = NULL;")
+        w.emit("int *p = &g_i[0];")
+        w.emit("long *q = &g_l[0];")
+        w.emit("struct S0 *sp = &g_s;")
+        w.emit("long (*fp)(long, long) = mix0;")
+        w.emit("long *hp = (long *)malloc(128);")
+        w.emit("/* fills: every byte defined before any read */")
+        w.open("for (int fi = 0; fi < 16; fi++) {")
+        w.emit(f"g_i[fi] = fi * {r.randint(1, 9)} - {r.randint(0, 20)};")
+        w.emit(f"hp[fi] = (long)(fi ^ {r.randint(0, 31)});")
+        w.close()
+        w.open("for (int fi = 0; fi < 8; fi++) {")
+        w.emit(f"g_l[fi] = fi + {r.randint(-9, 9)};")
+        w.emit(f"g_d[fi] = (double)fi * {r.choice(['0.5', '0.25', '1.5'])};")
+        w.emit(f"l_i[fi] = fi * {r.randint(1, 5)};")
+        w.close()
+        w.open("for (int fi = 0; fi < 31; fi++) {")
+        w.emit(f"g_c[fi] = (char)(((fi + {r.randint(0, 9)}) & 15) + 1);")
+        w.close()
+        w.emit("g_c[31] = (char)0;")
+        w.open("for (int fi = 0; fi < 4; fi++) {")
+        w.emit(f"g_s.b[fi] = fi + {r.randint(0, 9)};")
+        w.open("for (int fj = 0; fj < 4; fj++) {")
+        w.emit(f"g_m[fi][fj] = fi * 4 + fj - {r.randint(0, 9)};")
+        w.close()
+        w.close()
+        w.emit(f"g_s.a = {r.randint(-30, 30)};")
+        w.emit(f"g_s.c = {r.choice(_EXACT_DOUBLES)};")
+        if self.two_unit:
+            w.open("for (int fi = 0; fi < 16; fi++) {")
+            w.emit(f"x_arr[fi] = fi * {r.randint(1, 7)};")
+            w.close()
+        self.coverage_preamble()
+        w.emit("/* random body */")
+        for _ in range(r.randint(8, 16)):
+            self.random_stmt()
+        self.prints()
+        w.emit("free(hp);")
+        w.emit("return 0;")
+        w.close()
+        return self.w.render()
+
+    def build_lib_unit(self) -> str:
+        r = self.rng
+        w = _Writer()
+        w.emit("/* second translation unit: externally visible state */")
+        w.emit("int x_arr[16];")
+        w.emit(f"long x_val = {r.randint(-40, 40)};")
+        w.emit("")
+        gen = _ExprGen(r, _Scope(int_vars=["v"]))
+        w.open("long x_mix(long v) {")
+        w.emit(f"x_val = x_val + ((v) & 63);")
+        w.emit(f"return ({gen.int_expr(1)}) + x_val;")
+        w.close()
+        return w.render()
+
+
+def generate_program(seed: int, index: int = 0) -> GeneratedProgram:
+    """Deterministically generate one defined-behaviour MiniC program."""
+    rng = random.Random(f"repro-fuzz:{seed}:{index}")
+    two_unit = rng.randrange(3) == 0
+    builder = _ProgramBuilder(rng, two_unit)
+    sources = {"main.c": builder.build_main_unit()}
+    if two_unit:
+        sources["lib.c"] = builder.build_lib_unit()
+    return GeneratedProgram(
+        name=f"fuzz-s{seed}-p{index:04d}",
+        seed=seed,
+        index=index,
+        sources=sources,
+        features=tuple(sorted(builder.features)),
+    )
+
+
+def generate_corpus(seed: int, count: int) -> List[GeneratedProgram]:
+    return [generate_program(seed, i) for i in range(count)]
+
+
+# ---------------------------------------------------------------------------
+# coverage accounting
+# ---------------------------------------------------------------------------
+
+def ast_node_kinds(source: str, name: str = "main.c") -> Set[str]:
+    """AST node kinds (class names) a source unit exercises."""
+    kinds: Set[str] = set()
+    seen: Set[int] = set()
+
+    def walk(obj: object) -> None:
+        if isinstance(obj, (cast.Expr, cast.Stmt)):
+            kinds.add(type(obj).__name__)
+        if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+            if id(obj) in seen:
+                return
+            seen.add(id(obj))
+            for f in dataclasses.fields(obj):
+                walk(getattr(obj, f.name))
+        elif isinstance(obj, (list, tuple)):
+            for item in obj:
+                walk(item)
+
+    walk(parse(source, name))
+    return kinds
+
+
+def ir_opcodes(sources: Dict[str, str]) -> Set[str]:
+    """IR opcodes the (uninstrumented, unoptimised) codegen emits."""
+    opcodes: Set[str] = set()
+    for name, source in sources.items():
+        module = compile_source(source, name)
+        for fn in module.functions.values():
+            for block in fn.blocks:
+                for inst in block:
+                    opcodes.add(inst.opcode)
+    return opcodes
+
+
+@dataclass
+class CoverageReport:
+    """What a corpus exercises vs. what the toolchain defines."""
+
+    node_kinds: FrozenSet[str]
+    missing_node_kinds: FrozenSet[str]
+    opcodes: FrozenSet[str]
+    missing_opcodes: FrozenSet[str]
+    features: Counter
+
+    @property
+    def complete(self) -> bool:
+        return not self.missing_node_kinds and not self.missing_opcodes
+
+    def summary(self) -> str:
+        lines = [
+            f"AST node kinds: {len(self.node_kinds)} exercised, "
+            f"{len(self.missing_node_kinds)} missing",
+            f"IR opcodes:     {len(self.opcodes)} exercised, "
+            f"{len(self.missing_opcodes)} missing",
+        ]
+        if self.missing_node_kinds:
+            lines.append("missing kinds: "
+                         + ", ".join(sorted(self.missing_node_kinds)))
+        if self.missing_opcodes:
+            lines.append("missing opcodes: "
+                         + ", ".join(sorted(self.missing_opcodes)))
+        for feature, count in sorted(self.features.items()):
+            lines.append(f"  feature {feature}: {count} programs")
+        return "\n".join(lines)
+
+
+def corpus_coverage(programs: Iterable[GeneratedProgram]) -> CoverageReport:
+    kinds: Set[str] = set()
+    opcodes: Set[str] = set()
+    features: Counter = Counter()
+    for program in programs:
+        for unit_name, source in program.sources.items():
+            kinds |= ast_node_kinds(source, unit_name)
+        opcodes |= ir_opcodes(program.sources)
+        features.update(program.features)
+    return CoverageReport(
+        node_kinds=frozenset(kinds),
+        missing_node_kinds=frozenset(expected_node_kinds() - kinds),
+        opcodes=frozenset(opcodes),
+        missing_opcodes=frozenset(CODEGEN_OPCODES - opcodes),
+        features=features,
+    )

@@ -1,0 +1,197 @@
+"""Delta-debugging minimization of mismatching fuzz programs.
+
+Classic ``ddmin`` (Zeller & Hildebrandt) over *source lines*: the
+generator emits one statement per line precisely so that removing a
+subset of lines usually yields another syntactically valid program.
+Candidates whose braces/parens no longer balance are skipped without
+consulting the oracle, and candidates that fail to compile can never
+satisfy the predicate for a non-compile mismatch (a ``CompileError``
+surfaces as a *harness-failure* mismatch, which has a different kind
+than the failure being preserved), so the reducer cannot trade the
+original bug for a syntax error.
+
+Plain ddmin stalls on brace *pairs* -- removing either line of an
+``if (...) { ... }`` skeleton alone unbalances the file -- so
+:func:`reduce_source` follows it with a pairwise pass that deletes two
+lines at a time until a fixpoint.
+
+:func:`minimize_mismatch` is the top-level driver: it re-checks a
+:class:`~repro.fuzz.oracle.Mismatch`'s sources through an oracle,
+keeping only candidates that still produce a mismatch with the same
+``(kind, label, engine)`` signature, and minimizes each translation
+unit in turn.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+from .oracle import Mismatch
+
+Predicate = Callable[[str], bool]
+
+
+def _balanced(text: str) -> bool:
+    """Cheap syntactic prefilter: brace/paren/bracket balance, with
+    nesting never going negative.  (String/char literals can in theory
+    fool this; the predicate is still the ground truth -- this only
+    prunes candidates that cannot possibly parse.)"""
+    depth = {"{": 0, "(": 0, "[": 0}
+    close = {"}": "{", ")": "(", "]": "["}
+    for ch in text:
+        if ch in depth:
+            depth[ch] += 1
+        elif ch in close:
+            depth[close[ch]] -= 1
+            if depth[close[ch]] < 0:
+                return False
+    return all(v == 0 for v in depth.values())
+
+
+@dataclass
+class _Budget:
+    """Caps how many times the (expensive) predicate may run."""
+
+    limit: int
+    spent: int = 0
+
+    def take(self) -> bool:
+        if self.spent >= self.limit:
+            return False
+        self.spent += 1
+        return True
+
+    @property
+    def exhausted(self) -> bool:
+        return self.spent >= self.limit
+
+
+def _ddmin(lines: List[str], predicate: Callable[[List[str]], bool],
+           budget: _Budget) -> List[str]:
+    n = 2
+    while len(lines) >= 2 and not budget.exhausted:
+        chunk = max(1, len(lines) // n)
+        reduced = False
+        start = 0
+        while start < len(lines) and not budget.exhausted:
+            candidate = lines[:start] + lines[start + chunk:]
+            if candidate and predicate(candidate):
+                # keep the same position: the next chunk has shifted
+                # into this window
+                lines = candidate
+                reduced = True
+            else:
+                start += chunk
+        if not reduced:
+            if chunk == 1:
+                break
+            n = min(len(lines), n * 2)
+    return lines
+
+
+def _pair_pass(lines: List[str], predicate: Callable[[List[str]], bool],
+               budget: _Budget) -> List[str]:
+    """Remove *pairs* of lines (e.g. a ``{`` opener and its ``}``)
+    that single-line ddmin cannot touch without unbalancing."""
+    changed = True
+    while changed and not budget.exhausted:
+        changed = False
+        for i in range(len(lines)):
+            for j in range(i + 1, len(lines)):
+                candidate = lines[:i] + lines[i + 1:j] + lines[j + 1:]
+                if candidate and predicate(candidate):
+                    lines = candidate
+                    changed = True
+                    break
+            if changed or budget.exhausted:
+                break
+    return lines
+
+
+def ddmin(lines: Sequence[str], predicate: Callable[[List[str]], bool],
+          max_checks: int = 2000) -> List[str]:
+    """Minimize ``lines`` to a subset still satisfying ``predicate``.
+
+    ``predicate(list_of_lines)`` must hold for the input; the result
+    is a subset for which it still holds and from which no single
+    tested chunk could be removed (1-minimality up to the
+    ``max_checks`` budget).
+    """
+    lines = list(lines)
+    if not predicate(lines):
+        raise ValueError("ddmin: predicate does not hold on the input")
+    budget = _Budget(max_checks)
+
+    def counted(candidate: List[str]) -> bool:
+        return budget.take() and predicate(candidate)
+
+    return _ddmin(lines, counted, budget)
+
+
+def reduce_source(source: str, predicate: Predicate,
+                  max_checks: int = 2000) -> str:
+    """Line-based ddmin (plus a pairwise cleanup pass) over one
+    source text.
+
+    ``predicate(source_text)`` decides whether a candidate still
+    reproduces.  Unbalanced candidates are rejected for free; only
+    real predicate evaluations count against ``max_checks``.
+    """
+    budget = _Budget(max_checks)
+
+    def line_predicate(lines: List[str]) -> bool:
+        text = "\n".join(lines)
+        if not _balanced(text):
+            return False
+        return budget.take() and predicate(text)
+
+    lines = _ddmin(source.split("\n"), line_predicate, budget)
+    lines = _pair_pass(lines, line_predicate, budget)
+    return "\n".join(lines)
+
+
+def mismatch_signature(mismatch: Mismatch) -> tuple:
+    """What the reducer preserves: the failure's kind and cell."""
+    return (mismatch.kind, mismatch.label, mismatch.engine)
+
+
+def _matches(mismatches: List[Mismatch], signature: tuple) -> bool:
+    return any(mismatch_signature(m) == signature for m in mismatches)
+
+
+def minimize_mismatch(
+    mismatch: Mismatch,
+    oracle,
+    max_checks: int = 400,
+    name: str = "fuzz-reduce",
+) -> Dict[str, str]:
+    """Shrink ``mismatch.sources`` to a minimal reproducer.
+
+    ``oracle`` needs only a ``check_sources(sources, name)`` method
+    returning a list of :class:`Mismatch` -- the real
+    :class:`~repro.fuzz.oracle.DifferentialOracle` or any test stub.
+    Each translation unit is minimized in turn while the others are
+    held fixed; the returned dict still reproduces a mismatch with the
+    original's ``(kind, label, engine)`` signature.
+    """
+    if not mismatch.sources:
+        raise ValueError("mismatch carries no sources to minimize")
+    signature = mismatch_signature(mismatch)
+    sources = dict(mismatch.sources)
+    if not _matches(oracle.check_sources(sources, name), signature):
+        raise ValueError(
+            f"mismatch {signature} does not reproduce from its recorded "
+            "sources; nothing to minimize")
+    for unit in list(sources):
+        def unit_predicate(candidate_text: str, unit=unit) -> bool:
+            candidate = dict(sources)
+            candidate[unit] = candidate_text
+            return _matches(oracle.check_sources(candidate, name), signature)
+
+        sources[unit] = reduce_source(sources[unit], unit_predicate,
+                                      max_checks=max_checks)
+    # a unit reduced to nothing is just an empty module; drop it
+    # (keeping main.c so the reproducer is always runnable-shaped)
+    return {unit: text for unit, text in sources.items()
+            if text.strip() or unit == "main.c"}

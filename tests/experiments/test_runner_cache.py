@@ -333,3 +333,81 @@ class TestVerifyCache:
         _forbid_execution(monkeypatch)
         engine = _engine(tmp_path, verify_cache=False)
         engine.run(get("197parser"), "softbound")  # must not raise
+
+
+# ----------------------------------------------------------------------
+# per-request engine overrides (mixed-engine batches)
+
+class TestEngineOverride:
+    """``JobRequest.engine`` lets one batch mix VM tiers (the fuzz
+    oracle's engine-differential matrix).  The memo must keep the tiers
+    apart, the implicit baseline must inherit the override, and the
+    engine-agnostic disk cache must stand aside for overridden jobs."""
+
+    def test_override_reaches_the_worker(self):
+        engine = ExperimentEngine(jobs=1, vm_engine="compiled")
+        workload = get("197parser")
+        seen = []
+        original = runner_mod._execute_payload
+
+        def spy(payload):
+            seen.append((payload["label"], payload["engine"]))
+            return original(payload)
+
+        runner_mod._execute_payload, saved = spy, runner_mod._execute_payload
+        try:
+            engine.run_many([
+                JobRequest(workload, "softbound", engine="interp"),
+            ])
+        finally:
+            runner_mod._execute_payload = saved
+        # both the instrumented job and its implicit baseline reference
+        # ran under the overridden tier
+        assert sorted(seen) == [("baseline", "interp"),
+                                ("softbound", "interp")]
+
+    def test_mixed_batch_not_memo_aliased(self):
+        """The same (workload, label) under two engines must execute
+        twice -- a shared memo entry would make the comparison vacuous."""
+        engine = ExperimentEngine(jobs=1, vm_engine="compiled")
+        workload = get("197parser")
+        results = engine.run_many([
+            JobRequest(workload, "softbound", engine="compiled"),
+            JobRequest(workload, "softbound", engine="interp"),
+        ])
+        # 2 instrumented jobs + 2 baseline references
+        assert engine.executed_jobs == 4
+        assert results[0] is not results[1]
+        # ...and the tiers really are bit-identical (the invariant the
+        # fuzz oracle checks at scale)
+        assert results[0].to_json() == results[1].to_json()
+
+    def test_override_bypasses_disk_cache(self, tmp_path):
+        """A cached-at-``vm_engine`` result must not satisfy an
+        override request, and an override result must not be stored."""
+        workload = get("197parser")
+        first = _engine(tmp_path, vm_engine="compiled")
+        first.run(workload, "baseline")
+        stored = len(first.cache)
+        assert stored >= 1
+
+        second = _engine(tmp_path, vm_engine="compiled")
+        second.run_request(JobRequest(workload, "baseline",
+                                      engine="interp"))
+        assert second.cache_hits == 0
+        assert second.executed_jobs == 1
+        assert len(second.cache) == stored  # nothing new written
+
+    def test_matching_override_still_uses_cache(self, tmp_path,
+                                                monkeypatch):
+        """An explicit override equal to ``vm_engine`` is not an
+        override at all: the disk cache serves it."""
+        workload = get("197parser")
+        first = _engine(tmp_path, vm_engine="compiled")
+        first.run(workload, "baseline")
+
+        _forbid_execution(monkeypatch)
+        second = _engine(tmp_path, vm_engine="compiled")
+        second.run_request(JobRequest(workload, "baseline",
+                                      engine="compiled"))
+        assert second.cache_hits == 1

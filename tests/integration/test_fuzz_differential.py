@@ -1,195 +1,59 @@
-"""Differential fuzzing: randomly generated well-defined MiniC programs
-must produce identical output
+"""Differential fuzzing: the standing correctness gate.
 
-* at -O0 and -O3 (compiler soundness),
-* under SoftBound and Low-Fat instrumentation (instrumentation
-  transparency: a sanitizer must not change defined behaviour),
-* through the cached parallel experiment engine (harness soundness:
-  worker transport and the disk cache must not change any observable
-  result).
+A bounded, *seeded* corpus of generated MiniC programs (see
+:mod:`repro.fuzz.generator`; every program has fully defined
+behaviour) runs through the complete
+{VM engine} x {mechanism} x {check filter} matrix and must agree on
+every observable and counter invariant:
 
-The generator only emits defined behaviour: array indices are masked
-into bounds, divisors are forced nonzero, shift amounts are masked, and
-loops have constant trip counts.
+* instrumentation transparency: SoftBound / Low-Fat, with and without
+  the dominance and value-range check-elimination filters, must
+  reproduce the baseline's output exactly;
+* engine equivalence: the closure-compiled tier and the reference
+  tree-walker must agree bit-for-bit on outputs *and* statistics;
+* filter soundness: dynamic check counts obey
+  ranges <= dominance <= unfiltered, and the baseline executes zero
+  checks.
+
+Unlike its hypothesis-based predecessor this corpus is deterministic:
+a failure here names a ``(seed, index)`` pair anyone can replay with
+``python -m repro fuzz`` and shrink with ``repro.fuzz.reduce``.
 """
 
-import hashlib
-import tempfile
+import os
 
 import pytest
-from hypothesis import HealthCheck, given, settings, strategies as st
 
-from repro import CompileOptions, compile_and_run, compile_program, run_program
-from repro.core import InstrumentationConfig
-from repro.experiments.cache import ResultCache
-from repro.experiments.runner import ExperimentEngine, JobRequest
-from repro.workloads import Workload
+from repro.fuzz import FULL_MATRIX, DifferentialOracle, generate_corpus
 
-VARS = ["v0", "v1", "v2", "v3"]
-ARRAYS = [("arr", 16), ("grid", 8)]
+#: ~100 programs as the standing gate; override (e.g. smoke-size) via
+#: the environment without editing the test.
+CORPUS_SEED = int(os.environ.get("REPRO_FUZZ_SEED", "0"))
+CORPUS_SIZE = int(os.environ.get("REPRO_FUZZ_COUNT", "100"))
+CHUNK = 20
 
-
-@st.composite
-def expressions(draw, depth=0):
-    choice = draw(st.integers(0, 5 if depth < 3 else 1))
-    if choice == 0:
-        return str(draw(st.integers(-100, 100)))
-    if choice == 1:
-        return draw(st.sampled_from(VARS))
-    left = draw(expressions(depth=depth + 1))
-    right = draw(expressions(depth=depth + 1))
-    if choice == 2:
-        op = draw(st.sampled_from(["+", "-", "*", "&", "|", "^"]))
-        return f"({left} {op} {right})"
-    if choice == 3:
-        op = draw(st.sampled_from(["/", "%"]))
-        return f"({left} {op} (({right} & 15) + 1))"   # nonzero divisor
-    if choice == 4:
-        op = draw(st.sampled_from(["<<", ">>"]))
-        return f"({left} {op} ({right} & 7))"          # bounded shift
-    name, size = draw(st.sampled_from(ARRAYS))
-    return f"{name}[({left}) & {size - 1}]"            # in-bounds index
+_CORPUS = generate_corpus(CORPUS_SEED, CORPUS_SIZE)
+_CHUNKS = [_CORPUS[i:i + CHUNK] for i in range(0, len(_CORPUS), CHUNK)]
 
 
-@st.composite
-def statements(draw, depth=0):
-    choice = draw(st.integers(0, 3 if depth < 2 else 1))
-    if choice == 0:
-        var = draw(st.sampled_from(VARS))
-        return f"{var} = {draw(expressions())};"
-    if choice == 1:
-        name, size = draw(st.sampled_from(ARRAYS))
-        idx = draw(expressions())
-        return f"{name}[({idx}) & {size - 1}] = {draw(expressions())};"
-    if choice == 2:
-        cond = draw(expressions())
-        then = draw(statements(depth=depth + 1))
-        other = draw(statements(depth=depth + 1))
-        return f"if (({cond}) > 0) {{ {then} }} else {{ {other} }}"
-    trip = draw(st.integers(1, 6))
-    body = draw(statements(depth=depth + 1))
-    loop_var = f"it{depth}"
-    return (f"for (int {loop_var} = 0; {loop_var} < {trip}; {loop_var}++) "
-            f"{{ {body} v0 = v0 + {loop_var}; }}")
+@pytest.fixture(scope="module")
+def oracle():
+    jobs = min(4, os.cpu_count() or 1)
+    return DifferentialOracle(matrix=FULL_MATRIX, jobs=jobs,
+                              max_instructions=5_000_000)
 
 
-@st.composite
-def programs(draw):
-    body = "\n    ".join(draw(st.lists(statements(), min_size=3, max_size=10)))
-    decls = "\n    ".join(f"int {v} = {draw(st.integers(-50, 50))};"
-                          for v in VARS)
-    arrays = "\n    ".join(
-        f"int {name}[{size}];" for name, size in ARRAYS
-    )
-    fills = "\n    ".join(
-        f"for (int i = 0; i < {size}; i++) {name}[i] = i * {draw(st.integers(1, 9))};"
-        for name, size in ARRAYS
-    )
-    prints = "\n    ".join(f"print_i64({v});" for v in VARS)
-    array_sums = "\n    ".join(
-        f"{{ long s = 0; for (int i = 0; i < {size}; i++) s += {name}[i]; "
-        f"print_i64(s); }}"
-        for name, size in ARRAYS
-    )
-    return f"""
-int main() {{
-    {arrays}
-    {decls}
-    {fills}
-    {body}
-    {prints}
-    {array_sums}
-    return 0;
-}}
-"""
+@pytest.mark.parametrize("chunk", range(len(_CHUNKS)))
+def test_full_matrix_agreement(oracle, chunk):
+    programs = _CHUNKS[chunk]
+    report = oracle.run(programs, seed=CORPUS_SEED)
+    assert report.ok, (
+        "differential mismatches (replay: python -m repro fuzz "
+        f"--seed {CORPUS_SEED} --count {CORPUS_SIZE}):\n"
+        + "\n".join(m.headline() for m in report.mismatches))
+    assert report.cells_per_program == len(FULL_MATRIX)
 
 
-FUZZ_SETTINGS = settings(
-    max_examples=25,
-    deadline=None,
-    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
-)
-
-
-@given(programs())
-@FUZZ_SETTINGS
-def test_o0_equals_o3(source):
-    o0 = compile_and_run(source, options=CompileOptions(opt_level=0),
-                         max_instructions=3_000_000)
-    o3 = compile_and_run(source, options=CompileOptions(opt_level=3),
-                         max_instructions=3_000_000)
-    assert o0.ok, o0.describe()
-    assert o3.ok, o3.describe()
-    assert o0.output == o3.output
-
-
-@given(programs())
-@FUZZ_SETTINGS
-def test_instrumentation_transparency(source):
-    baseline = compile_and_run(source, max_instructions=3_000_000)
-    assert baseline.ok, baseline.describe()
-    for config in (InstrumentationConfig.softbound(opt_dominance=True),
-                   InstrumentationConfig.lowfat(opt_dominance=True)):
-        result = compile_and_run(source, config, max_instructions=5_000_000)
-        assert result.ok, f"{config.approach}: {result.describe()}"
-        assert result.output == baseline.output
-
-
-#: Shared across all fuzz examples: worker pool startup and the disk
-#: cache are part of what this oracle exercises.
-_FUZZ_ENGINE = ExperimentEngine(
-    jobs=2,
-    cache=ResultCache(tempfile.mkdtemp(prefix="repro-fuzz-cache-")),
-)
-
-_ENGINE_FUZZ_SETTINGS = settings(
-    max_examples=10,
-    deadline=None,
-    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
-)
-
-
-@given(programs())
-@_ENGINE_FUZZ_SETTINGS
-def test_engine_oracle(source):
-    """Third oracle: the cached parallel engine must agree with a
-    direct ``compile_and_run`` on output *and* every counter."""
-    workload = Workload(
-        name=f"fuzz-{hashlib.sha256(source.encode()).hexdigest()[:12]}",
-        sources={"fuzz.c": source},
-        description="generated fuzz program",
-    )
-    results = _FUZZ_ENGINE.run_many([
-        JobRequest(workload, label)
-        for label in ("baseline", "softbound", "lowfat")
-    ])
-    for engine_result in results:
-        assert engine_result.ok, \
-            f"{engine_result.label}: {engine_result.describe}"
-        if engine_result.label == "baseline":
-            direct = compile_and_run(source, max_instructions=5_000_000)
-        else:
-            config = (InstrumentationConfig.softbound(opt_dominance=True)
-                      if engine_result.label == "softbound"
-                      else InstrumentationConfig.lowfat(opt_dominance=True))
-            direct = compile_and_run(source, config,
-                                     max_instructions=5_000_000)
-        assert engine_result.output == direct.output
-        assert engine_result.cycles == direct.stats.cycles
-        assert engine_result.instructions == direct.stats.instructions
-        assert engine_result.checks_executed == direct.stats.checks_executed
-        assert engine_result.checks_wide == direct.stats.checks_wide
-
-
-@given(programs())
-@FUZZ_SETTINGS
-def test_early_extension_point_transparency(source):
-    baseline = compile_and_run(source, max_instructions=3_000_000)
-    assert baseline.ok
-    options = CompileOptions(extension_point="ModuleOptimizerEarly")
-    result = compile_and_run(
-        source, InstrumentationConfig.softbound(), options,
-        max_instructions=5_000_000,
-    )
-    assert result.ok, result.describe()
-    assert result.output == baseline.output
+def test_corpus_is_seeded_and_stable():
+    again = generate_corpus(CORPUS_SEED, CORPUS_SIZE)
+    assert [p.sources for p in again] == [p.sources for p in _CORPUS]

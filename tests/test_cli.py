@@ -238,3 +238,42 @@ class TestBench:
     def test_unknown_workload(self):
         with pytest.raises(SystemExit):
             main(["bench", "999nope"])
+
+
+class TestFuzz:
+    def test_quick_matrix_clean(self, capsys):
+        assert main(["fuzz", "--seed", "5", "--count", "2",
+                     "--matrix", "quick", "--jobs", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "2 programs x 3 cells" in out
+        assert "no mismatches" in out
+
+    def test_json_report(self, capsys, tmp_path):
+        import json
+
+        out_file = tmp_path / "report.json"
+        assert main(["fuzz", "--seed", "5", "--count", "1",
+                     "--matrix", "quick", "--jobs", "1",
+                     "--format", "json", "--output", str(out_file)]) == 0
+        doc = json.loads(out_file.read_text())
+        assert doc["ok"] is True
+        assert doc["programs"] == 1
+        assert doc["matrix"] == "quick"
+        assert doc["seed"] == 5
+
+    def test_coverage_flag(self, capsys):
+        assert main(["fuzz", "--seed", "5", "--count", "1",
+                     "--matrix", "quick", "--jobs", "1",
+                     "--coverage"]) == 0
+        out = capsys.readouterr().out
+        assert "AST node kinds" in out
+        assert "0 missing" in out
+
+    def test_bad_count_rejected(self, capsys):
+        assert main(["fuzz", "--count", "0"]) == 2
+        assert "--count" in capsys.readouterr().err
+
+    def test_progress_goes_to_stderr(self, capsys):
+        assert main(["fuzz", "--seed", "5", "--count", "1",
+                     "--matrix", "quick", "--jobs", "1"]) == 0
+        assert "[fuzz]" in capsys.readouterr().err
