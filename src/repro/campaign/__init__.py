@@ -1,0 +1,70 @@
+"""Campaign orchestration: declarative instance/target sweeps.
+
+The public API of the campaign layer:
+
+* :class:`Instance` / :class:`Target` / :class:`CampaignSpec` -- the
+  declarative model (mechanism x filters x mode x engine, times
+  workloads or inline MiniC sources).
+* :func:`load_spec` / :func:`parse_spec` -- TOML/JSON spec files.
+* :class:`CampaignRunner` / :func:`run_campaign` -- sharded, cached,
+  resumable execution over the experiment engine.
+* :mod:`.history` -- cross-run ``BENCH_*.json`` time series and
+  regression flagging.
+* :mod:`.serve` -- the long-lived HTTP/JSON daemon.
+"""
+
+from .history import (
+    CYCLE_TOLERANCE,
+    OVERHEAD_TOLERANCE,
+    Regression,
+    append_entry,
+    compare_entries,
+    find_regressions,
+    load_history,
+)
+from .model import (
+    FILTER_SETS,
+    KNOWN_FILTERS,
+    CampaignCell,
+    CampaignSpec,
+    Instance,
+    Target,
+    axes_instances,
+    standard_instances,
+)
+from .run import (
+    CampaignResult,
+    CampaignRunner,
+    CellResult,
+    run_campaign,
+    shard_of,
+)
+from .serve import CampaignService, make_server
+from .spec import load_spec, parse_spec
+
+__all__ = [
+    "CYCLE_TOLERANCE",
+    "OVERHEAD_TOLERANCE",
+    "CampaignCell",
+    "CampaignResult",
+    "CampaignRunner",
+    "CampaignService",
+    "CampaignSpec",
+    "CellResult",
+    "FILTER_SETS",
+    "Instance",
+    "KNOWN_FILTERS",
+    "Regression",
+    "Target",
+    "append_entry",
+    "axes_instances",
+    "compare_entries",
+    "find_regressions",
+    "load_history",
+    "load_spec",
+    "make_server",
+    "parse_spec",
+    "run_campaign",
+    "shard_of",
+    "standard_instances",
+]

@@ -1,0 +1,157 @@
+"""Cross-run regression tracking for campaigns.
+
+Every completed campaign (shard) can append a compact summary entry to
+a ``BENCH_*.json`` time-series file.  The VM is fully deterministic, so
+for an unchanged (sources, config, engine) cell the cycle count must be
+*exactly* reproducible -- any drift between consecutive entries is a
+real behaviour change, and an *increase* past the tolerance is flagged
+as a regression.  Geomean overhead per instance is tracked the same
+way, which is the campaign-scale version of the CI perf gate.
+
+The file is a single JSON document::
+
+    {"campaign": "nightly", "entries": [ {…}, {…}, … ]}
+
+Entries carry a monotonically increasing ``sequence`` (not a wall-clock
+time) so the series is reproducible and diffable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from ..errors import ConfigError
+from .run import CampaignResult
+
+#: Cycle counts are deterministic; any increase is suspect.  Overheads
+#: divide two cycle counts, so give them a small relative tolerance to
+#: absorb an improved baseline.
+CYCLE_TOLERANCE = 0.0
+OVERHEAD_TOLERANCE = 0.02
+
+
+@dataclass
+class Regression:
+    """One flagged degradation between consecutive history entries."""
+
+    kind: str       # "cycles" | "overhead" | "status"
+    subject: str    # "instance|target" cell id or instance name
+    before: object
+    after: object
+
+    def describe(self) -> str:
+        return (f"{self.kind} regression: {self.subject}: "
+                f"{self.before!r} -> {self.after!r}")
+
+
+def load_history(path: Union[str, Path]) -> dict:
+    path = Path(path)
+    if not path.exists():
+        return {"campaign": None, "entries": []}
+    try:
+        document = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ConfigError(f"unreadable campaign history {path}: {exc}")
+    if not isinstance(document, dict) or \
+            not isinstance(document.get("entries"), list):
+        raise ConfigError(f"malformed campaign history {path}")
+    return document
+
+
+def _entry_from(result: CampaignResult) -> dict:
+    return {
+        "campaign": result.spec_name,
+        "shard_index": result.shard_index,
+        "shard_count": result.shard_count,
+        "executed_jobs": result.executed_jobs,
+        "cache_hits": result.cache_hits,
+        "cells": result.summary_cells(),
+        "overheads": result.overheads(),
+    }
+
+
+def append_entry(path: Union[str, Path], result: CampaignResult) -> dict:
+    """Append ``result``'s summary to the series at ``path`` (atomic
+    write); returns the appended entry."""
+    path = Path(path)
+    document = load_history(path)
+    if document["campaign"] is None:
+        document["campaign"] = result.spec_name
+    entry = _entry_from(result)
+    entry["sequence"] = len(document["entries"])
+    document["entries"].append(entry)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return entry
+
+
+def compare_entries(
+    previous: dict,
+    latest: dict,
+    cycle_tolerance: float = CYCLE_TOLERANCE,
+    overhead_tolerance: float = OVERHEAD_TOLERANCE,
+) -> List[Regression]:
+    """Regressions from ``previous`` to ``latest``.
+
+    Only cells/instances present in both entries are compared, so a
+    changed spec (new workloads, new instances) never produces spurious
+    flags."""
+    regressions: List[Regression] = []
+    previous_cells: Dict[str, dict] = previous.get("cells", {})
+    for cell_id, cell in latest.get("cells", {}).items():
+        before = previous_cells.get(cell_id)
+        if before is None:
+            continue
+        if before["status"] == "exit" and cell["status"] != "exit":
+            regressions.append(Regression(
+                "status", cell_id, before["status"], cell["status"]))
+            continue
+        if cell["cycles"] > before["cycles"] * (1.0 + cycle_tolerance):
+            regressions.append(Regression(
+                "cycles", cell_id, before["cycles"], cell["cycles"]))
+    previous_overheads: Dict[str, float] = previous.get("overheads", {})
+    for instance, overhead in latest.get("overheads", {}).items():
+        before = previous_overheads.get(instance)
+        if before is not None and \
+                overhead > before * (1.0 + overhead_tolerance):
+            regressions.append(Regression(
+                "overhead", instance, round(before, 4), round(overhead, 4)))
+    return regressions
+
+
+def find_regressions(
+    history: Union[str, Path, dict],
+    cycle_tolerance: float = CYCLE_TOLERANCE,
+    overhead_tolerance: float = OVERHEAD_TOLERANCE,
+) -> List[Regression]:
+    """Compare the two most recent entries of a series (by shard, so
+    multi-shard campaigns compare each shard against its predecessor)."""
+    if not isinstance(history, dict):
+        history = load_history(history)
+    entries = history["entries"]
+    if len(entries) < 2:
+        return []
+    latest = entries[-1]
+    shard = (latest.get("shard_index", 0), latest.get("shard_count", 1))
+    for entry in reversed(entries[:-1]):
+        if (entry.get("shard_index", 0),
+                entry.get("shard_count", 1)) == shard:
+            return compare_entries(entry, latest,
+                                   cycle_tolerance, overhead_tolerance)
+    return []

@@ -1,0 +1,354 @@
+"""The declarative instance/target model of the campaign layer.
+
+Modelled on instrumentation-infra's ``instance.py`` / ``target.py``
+split: an :class:`Instance` is one *way of building and running* code
+(mechanism x check-filter set x mode x VM engine x pipeline extension
+point), a :class:`Target` is one *thing to run* (a bundled workload or
+an inline MiniC source set), and a :class:`CampaignSpec` is the N x M
+product of the two plus execution options.
+
+Instances resolve their mechanism through the registry in
+:mod:`repro.core.mechanism`, so a newly registered mechanism is
+immediately campaign-able by name -- no campaign-layer edits.  Canonical
+instances produce exactly the experiment harness's ``CONFIG_LABELS``
+labels and configurations, so campaign cells share cache entries and
+stay comparable with every table/figure experiment.
+
+Expansion (:meth:`CampaignSpec.expand`) is deterministic and
+order-independent: duplicate cells collapse, and the result is sorted
+by (instance, target) name -- two processes expanding the same spec
+always agree on the cell list, which is what makes sharding by content
+hash coordination-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.config import InstrumentationConfig, MODES
+from ..core.mechanism import get_mechanism, mechanism_names
+from ..errors import ConfigError
+from ..experiments.runner import JobRequest
+from ..workloads import Workload
+
+#: Check-filter selections an instance may request.  ``ranges`` is
+#: composed after ``dominance`` throughout the repo, but the model does
+#: not force the pairing -- each filter is an independent axis value.
+KNOWN_FILTERS = ("dominance", "ranges")
+
+#: Named filter-axis shorthands used by spec files (and by the
+#: experiment harness's label scheme).
+FILTER_SETS: Dict[str, Tuple[str, ...]] = {
+    "unopt": (),
+    "dominance": ("dominance",),
+    "ranges": ("dominance", "ranges"),
+}
+
+_ENGINES = ("compiled", "interp")
+
+
+def _check_engine(engine: str) -> str:
+    if engine not in _ENGINES:
+        raise ConfigError(
+            f"unknown VM engine {engine!r} (expected one of "
+            f"{', '.join(_ENGINES)})")
+    return engine
+
+
+@dataclass(frozen=True)
+class Instance:
+    """One way of building and running a target.
+
+    ``mechanism`` is a registry name (``softbound``, ``lowfat``, ...)
+    or ``baseline``/``noop`` for the uninstrumented reference.
+    ``filters`` selects check-elimination filters, ``mode`` is the
+    instrumentation mode (``full`` or ``geninvariants``), ``engine``
+    the VM execution tier, and ``extension_point`` where the
+    instrumentation runs in the pipeline.  ``config_overrides`` are
+    extra :class:`InstrumentationConfig` fields (the ablation knobs).
+    """
+
+    mechanism: str
+    filters: Tuple[str, ...] = ()
+    mode: str = "full"
+    engine: str = "compiled"
+    extension_point: str = "VectorizerStart"
+    config_overrides: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self):
+        # Normalize: frozen dataclass, so go through object.__setattr__.
+        filters = tuple(dict.fromkeys(self.filters))
+        unknown = [f for f in filters if f not in KNOWN_FILTERS]
+        if unknown:
+            raise ConfigError(
+                f"unknown check filter(s) {', '.join(unknown)} "
+                f"(known: {', '.join(KNOWN_FILTERS)})")
+        if self.mode not in MODES:
+            raise ConfigError(f"unknown instrumentation mode {self.mode!r}")
+        _check_engine(self.engine)
+        if not self.is_baseline:
+            get_mechanism(self.mechanism)  # raises ConfigError if unknown
+        object.__setattr__(self, "filters", filters)
+        object.__setattr__(self, "config_overrides",
+                           dict(self.config_overrides))
+
+    # -- identity ------------------------------------------------------
+    @property
+    def is_baseline(self) -> bool:
+        return self.mechanism in ("baseline", "noop")
+
+    @property
+    def label(self) -> str:
+        """The experiment harness's canonical configuration label.
+
+        Matches ``experiments.common.CONFIG_LABELS`` exactly for the
+        canonical cells, so campaign results share cache entries and
+        axes with the table/figure experiments; non-canonical
+        combinations get an unambiguous derived label."""
+        if self.is_baseline:
+            return "baseline"
+        parts = [self.mechanism]
+        if self.mode == "geninvariants":
+            parts.append("meta")
+            if self.filters:
+                parts.extend(self.filters)
+        elif self.filters == ():
+            parts.append("unopt")
+        elif self.filters == ("dominance",):
+            pass
+        elif self.filters == ("dominance", "ranges"):
+            parts.append("ranges")
+        else:
+            parts.extend(self.filters)
+        if self.config_overrides:
+            parts.extend(f"{k}={v}" for k, v in
+                         sorted(self.config_overrides.items()))
+        return "-".join(parts)
+
+    @property
+    def name(self) -> str:
+        """Unique instance name: label plus the execution axes."""
+        name = f"{self.label}@{self.engine}"
+        if self.extension_point != "VectorizerStart":
+            name += f"@{self.extension_point}"
+        return name
+
+    # -- resolution ----------------------------------------------------
+    def config(self) -> Optional[InstrumentationConfig]:
+        """The resolved configuration (None for the baseline)."""
+        if self.is_baseline:
+            return None
+        base = InstrumentationConfig(
+            approach=self.mechanism,
+            mode=self.mode,
+            opt_dominance="dominance" in self.filters,
+            opt_ranges="ranges" in self.filters,
+        )
+        if self.config_overrides:
+            base = replace(base, **self.config_overrides)
+        return base
+
+    def request(self, target: "Target",
+                max_instructions: Optional[int] = None,
+                validate_output: bool = True) -> JobRequest:
+        """The :class:`JobRequest` for (this instance, ``target``)."""
+        return JobRequest(
+            workload=target.workload(),
+            label=self.label,
+            extension_point=self.extension_point,
+            config_override=self.config(),
+            max_instructions=max_instructions,
+            validate_output=validate_output and not self.is_baseline,
+            engine=self.engine,
+        )
+
+    # -- construction helpers ------------------------------------------
+    @classmethod
+    def from_label(cls, label: str, engine: str = "compiled",
+                   extension_point: str = "VectorizerStart") -> "Instance":
+        """Parse a ``CONFIG_LABELS``-style label into an instance."""
+        if label == "baseline":
+            return cls("baseline", engine=engine,
+                       extension_point=extension_point)
+        mechanism, _, variant = label.partition("-")
+        if variant == "":
+            filters, mode = FILTER_SETS["dominance"], "full"
+        elif variant == "unopt":
+            filters, mode = FILTER_SETS["unopt"], "full"
+        elif variant == "ranges":
+            filters, mode = FILTER_SETS["ranges"], "full"
+        elif variant == "meta":
+            filters, mode = FILTER_SETS["unopt"], "geninvariants"
+        else:
+            raise ConfigError(f"unknown configuration label {label!r}")
+        return cls(mechanism, filters=filters, mode=mode, engine=engine,
+                   extension_point=extension_point)
+
+    @classmethod
+    def parse(cls, doc: Mapping[str, object]) -> "Instance":
+        """Build an instance from a spec/serve JSON object.
+
+        Accepts either ``{"label": "softbound-ranges", ...}`` or the
+        explicit ``{"mechanism": ..., "filters": ..., "mode": ...}``
+        form; unknown keys are rejected so typos fail loudly."""
+        doc = dict(doc)
+        engine = _check_engine(str(doc.pop("engine", "compiled")))
+        extension_point = str(doc.pop("extension_point", "VectorizerStart"))
+        if "label" in doc:
+            label = str(doc.pop("label"))
+            if doc:
+                raise ConfigError(
+                    f"instance with 'label' cannot also set "
+                    f"{', '.join(sorted(doc))}")
+            return cls.from_label(label, engine=engine,
+                                  extension_point=extension_point)
+        try:
+            mechanism = str(doc.pop("mechanism"))
+        except KeyError:
+            raise ConfigError(
+                "instance needs a 'mechanism' (or a 'label')") from None
+        filters = doc.pop("filters", ())
+        if isinstance(filters, str):
+            filters = FILTER_SETS.get(filters, (filters,))
+        mode = str(doc.pop("mode", "full"))
+        overrides = doc.pop("config", {})
+        if doc:
+            raise ConfigError(
+                f"unknown instance key(s): {', '.join(sorted(doc))}")
+        if not isinstance(overrides, Mapping):
+            raise ConfigError("instance 'config' must be a table/object")
+        return cls(mechanism, filters=tuple(filters), mode=mode,
+                   engine=engine, extension_point=extension_point,
+                   config_overrides=dict(overrides))
+
+
+@dataclass(frozen=True)
+class Target:
+    """One thing to run: a bundled workload or inline MiniC sources."""
+
+    name: str
+    #: None -> ``name`` is a bundled workload; otherwise the MiniC
+    #: translation units to compile.
+    sources: Optional[Mapping[str, str]] = None
+
+    def __post_init__(self):
+        if self.sources is not None:
+            object.__setattr__(self, "sources", dict(self.sources))
+            if not self.sources:
+                raise ConfigError(f"target {self.name!r} has no sources")
+
+    def workload(self) -> Workload:
+        if self.sources is not None:
+            return Workload(name=self.name, sources=dict(self.sources),
+                            description="campaign source target")
+        from ..workloads import all_names, get
+
+        if self.name not in all_names():
+            raise ConfigError(
+                f"unknown workload {self.name!r}; choose from "
+                f"{', '.join(all_names())}")
+        return get(self.name)
+
+
+@dataclass(frozen=True)
+class CampaignCell:
+    """One (instance, target) cell of an expanded campaign."""
+
+    instance: Instance
+    target: Target
+
+    @property
+    def id(self) -> str:
+        return f"{self.instance.name}|{self.target.name}"
+
+
+@dataclass
+class CampaignSpec:
+    """A declarative N x M campaign: instances x targets + options."""
+
+    name: str
+    instances: Sequence[Instance]
+    targets: Sequence[Target]
+    max_instructions: Optional[int] = None
+    validate_output: bool = True
+
+    def __post_init__(self):
+        if not self.instances:
+            raise ConfigError(f"campaign {self.name!r} has no instances")
+        if not self.targets:
+            raise ConfigError(f"campaign {self.name!r} has no targets")
+
+    def expand(self) -> List[CampaignCell]:
+        """The deduplicated, deterministically ordered cell list.
+
+        Independent of the declaration order of instances and targets:
+        cells sort by (instance name, target name) and duplicates
+        (e.g. a baseline instance reached through several filter-axis
+        values) collapse to one cell."""
+        cells: Dict[str, CampaignCell] = {}
+        for instance in self.instances:
+            for target in self.targets:
+                cell = CampaignCell(instance, target)
+                cells.setdefault(cell.id, cell)
+        return [cells[key] for key in sorted(cells)]
+
+
+def standard_instances(
+    labels: Iterable[str],
+    engines: Iterable[str] = ("compiled",),
+) -> List[Instance]:
+    """Canonical instances for a labels x engines product (the shape
+    both the fuzz oracle's matrices and the bundled campaign specs
+    use)."""
+    return [Instance.from_label(label, engine=engine)
+            for engine in engines for label in labels]
+
+
+def axes_instances(
+    mechanisms: Iterable[str],
+    filters: Iterable[str] = ("dominance",),
+    engines: Iterable[str] = ("compiled",),
+    modes: Iterable[str] = ("full",),
+    extension_points: Iterable[str] = ("VectorizerStart",),
+) -> List[Instance]:
+    """Expand a mechanisms x filters x engines (x modes x extension
+    points) axis product into instances.
+
+    The baseline collapses across the filter/mode axes (an
+    uninstrumented run has no checks to filter), so a product over
+    ``{baseline, softbound, lowfat}`` yields one baseline per engine,
+    not one per filter value.  Duplicates are removed; order follows
+    the axes."""
+    instances: List[Instance] = []
+    seen = set()
+    for engine in engines:
+        for extension_point in extension_points:
+            for mechanism in mechanisms:
+                for mode in modes:
+                    for filter_name in filters:
+                        try:
+                            filter_set = FILTER_SETS[filter_name]
+                        except KeyError:
+                            raise ConfigError(
+                                f"unknown filter-axis value "
+                                f"{filter_name!r} (known: "
+                                f"{', '.join(FILTER_SETS)})") from None
+                        if mechanism in ("baseline", "noop"):
+                            instance = Instance(
+                                "baseline", engine=engine,
+                                extension_point=extension_point)
+                        else:
+                            instance = Instance(
+                                mechanism, filters=filter_set, mode=mode,
+                                engine=engine,
+                                extension_point=extension_point)
+                        if instance.name not in seen:
+                            seen.add(instance.name)
+                            instances.append(instance)
+    return instances
+
+
+def all_mechanism_names() -> Tuple[str, ...]:
+    """Registry passthrough (so campaign users need one import)."""
+    return mechanism_names()

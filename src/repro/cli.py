@@ -24,6 +24,13 @@ source files or bundled workloads, without executing anything::
     python -m repro lint prog.c lib.c
     python -m repro lint 164gzip 429mcf --format json
     python -m repro lint --all-workloads
+
+``campaign`` executes a declarative instance x target spec (sharded,
+cached, resumable), and ``serve`` runs the long-lived HTTP daemon::
+
+    python -m repro campaign nightly.toml --jobs 0 --history BENCH_nightly.json
+    python -m repro campaign nightly.toml --shard-index 1 --shard-count 4
+    python -m repro serve --port 8642 --cache-dir /var/cache/repro
 """
 
 from __future__ import annotations
@@ -71,14 +78,28 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    from .vm.interpreter import ENGINES
+    from .experiments.runner import (add_cache_arguments,
+                                     add_engine_arguments,
+                                     add_pool_arguments,
+                                     add_vm_engine_argument)
+
+    # Shared parent parsers: every subcommand that touches the VM, the
+    # worker pool, or the result cache inherits the same option group,
+    # so spelling, defaults, and help text cannot drift apart.
+    vm_parent = argparse.ArgumentParser(add_help=False)
+    add_vm_engine_argument(vm_parent)
+    pool_parent = argparse.ArgumentParser(add_help=False)
+    add_pool_arguments(pool_parent)
+    pool0_parent = argparse.ArgumentParser(add_help=False)
+    add_pool_arguments(pool0_parent, default_jobs=0)
+    cache_parent = argparse.ArgumentParser(add_help=False)
+    add_cache_arguments(cache_parent)
+    experiment_parent = argparse.ArgumentParser(add_help=False)
+    add_engine_arguments(experiment_parent)
 
     def common(p):
         p.add_argument("-O", dest="opt_level", type=int, default=3,
                        choices=(0, 1, 2, 3), help="optimization level")
-        p.add_argument("--engine", default="compiled", choices=ENGINES,
-                       help="VM execution engine: the closure-compiled "
-                            "tier (default) or the reference tree-walker")
         p.add_argument("--extension-point", default="VectorizerStart",
                        choices=EXTENSION_POINTS,
                        help="where the instrumentation runs in the pipeline")
@@ -87,7 +108,8 @@ def _build_parser() -> argparse.ArgumentParser:
         p.add_argument("--verify", action="store_true",
                        help="verify the IR after every pass")
 
-    run_p = sub.add_parser("run", help="compile, instrument, and execute")
+    run_p = sub.add_parser("run", parents=[vm_parent],
+                           help="compile, instrument, and execute")
     run_p.add_argument("files", nargs="+", help="MiniC source files")
     common(run_p)
     run_p.add_argument("--entry", default="main")
@@ -95,18 +117,21 @@ def _build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--stats", action="store_true",
                        help="print the runtime statistics summary")
 
-    emit_p = sub.add_parser("emit", help="print the final (instrumented) IR")
+    emit_p = sub.add_parser("emit", parents=[vm_parent],
+                            help="print the final (instrumented) IR")
     emit_p.add_argument("files", nargs="+", help="MiniC source files")
     common(emit_p)
 
-    bench_p = sub.add_parser("bench", help="run one workload benchmark")
+    bench_p = sub.add_parser(
+        "bench", parents=[vm_parent, pool_parent, cache_parent],
+        help="run one workload benchmark through the experiment engine")
     bench_p.add_argument("workload", help="benchmark name, e.g. 183equake")
     common(bench_p)
     bench_p.add_argument("--compare-baseline", action="store_true",
                          help="also run uninstrumented and print overhead")
 
     profile_p = sub.add_parser(
-        "profile",
+        "profile", parents=[vm_parent],
         help="per-check-site profile: hottest sites and wide-bounds "
              "attribution (requires an instrumented -mi-config)",
     )
@@ -133,7 +158,7 @@ def _build_parser() -> argparse.ArgumentParser:
                         default="text", help="output format")
 
     fuzz_p = sub.add_parser(
-        "fuzz",
+        "fuzz", parents=[pool0_parent, cache_parent],
         help="differential fuzzing: generated defined-behaviour "
              "programs through the {engine x mechanism x filter} matrix",
     )
@@ -145,17 +170,11 @@ def _build_parser() -> argparse.ArgumentParser:
                         default="full",
                         help="full: 7 configs x both VM engines; "
                              "quick: 3 configs, compiled engine only")
-    fuzz_p.add_argument("--jobs", "-j", type=int, default=0, metavar="N",
-                        help="worker processes (default: 0 = all cores)")
     fuzz_p.add_argument("--minimize", action="store_true",
                         help="delta-debug each mismatching program to a "
                              "minimal reproducer")
     fuzz_p.add_argument("--max-instructions", type=int, default=5_000_000,
                         help="per-run instruction budget")
-    fuzz_p.add_argument("--job-timeout", type=float, default=None,
-                        metavar="SECONDS",
-                        help="per-job time limit; overruns become "
-                             "harness-failure mismatches")
     fuzz_p.add_argument("--coverage", action="store_true",
                         help="include AST-kind / IR-opcode coverage "
                              "accounting in the report")
@@ -167,11 +186,56 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="write mismatching programs (and minimized "
                              "reproducers) into DIR")
 
-    from .experiments.runner import add_engine_arguments
+    campaign_p = sub.add_parser(
+        "campaign", parents=[pool0_parent, cache_parent],
+        help="run a declarative instance x target campaign spec "
+             "(sharded, cached, resumable)",
+    )
+    campaign_p.add_argument("spec",
+                            help="campaign spec file (.toml or .json)")
+    campaign_p.add_argument("--shard-index", type=int, default=0,
+                            metavar="I",
+                            help="this worker's shard (0-based)")
+    campaign_p.add_argument("--shard-count", type=int, default=1,
+                            metavar="N",
+                            help="total number of shards")
+    campaign_p.add_argument("--batch", type=int, default=32, metavar="N",
+                            help="cells per scheduler wave (default: 32)")
+    campaign_p.add_argument("--dry-run", action="store_true",
+                            help="list this shard's cells without "
+                                 "running anything")
+    campaign_p.add_argument("--history", default=None, metavar="FILE",
+                            help="append the campaign summary to this "
+                                 "BENCH_*.json time series and report "
+                                 "regressions against the previous run")
+    campaign_p.add_argument("--fail-on-regression", action="store_true",
+                            help="exit non-zero when --history flags a "
+                                 "cycle/overhead/status regression")
+    campaign_p.add_argument("--format", choices=("text", "json"),
+                            default="text", help="result format")
+    campaign_p.add_argument("--output", "-o", default=None, metavar="FILE",
+                            help="write the result to FILE instead of "
+                                 "stdout")
+
+    serve_p = sub.add_parser(
+        "serve", parents=[pool0_parent, cache_parent],
+        help="long-lived HTTP/JSON daemon: POST MiniC sources or a "
+             "workload name + an instance spec, get stats back",
+    )
+    serve_p.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default: 127.0.0.1)")
+    serve_p.add_argument("--port", type=int, default=8642,
+                         help="TCP port; 0 picks a free one "
+                              "(default: 8642)")
+    serve_p.add_argument("--max-instructions", type=int, default=None,
+                         help="default per-job instruction budget for "
+                              "submitted jobs")
+    serve_p.add_argument("--verbose", action="store_true",
+                         help="log every HTTP request to stderr")
 
     for name, (_, _, help_text) in EXPERIMENT_COMMANDS.items():
-        exp_p = sub.add_parser(name, help=help_text)
-        add_engine_arguments(exp_p)
+        exp_p = sub.add_parser(name, parents=[experiment_parent],
+                               help=help_text)
         exp_p.add_argument("--output", "-o", default=None, metavar="FILE",
                            help="write the result to FILE instead of stdout")
     return parser
@@ -281,17 +345,26 @@ def _run_fuzz(args) -> int:
     import json as json_mod
     import os
 
+    from .experiments.cache import ResultCache
+    from .experiments.runner import resolve_jobs
     from .fuzz import (DifferentialOracle, MATRICES, corpus_coverage,
                        generate_corpus, minimize_mismatch)
 
     if args.count <= 0:
         raise ConfigError("--count must be positive")
-    jobs = args.jobs if args.jobs > 0 else (os.cpu_count() or 1)
+    jobs = resolve_jobs(args.jobs)
+    # The cache is opt-in for fuzzing: only an explicit --cache-dir is
+    # used (and the oracle still refuses it for multi-engine matrices).
+    cache = None
+    if args.cache_dir and not args.no_cache:
+        cache = ResultCache(args.cache_dir)
     oracle = DifferentialOracle(
         matrix=MATRICES[args.matrix],
         jobs=jobs,
         max_instructions=args.max_instructions,
         job_timeout=args.job_timeout,
+        cache=cache,
+        verify_cache=args.verify_cache,
     )
     programs = generate_corpus(args.seed, args.count)
 
@@ -354,6 +427,118 @@ def _run_fuzz(args) -> int:
     else:
         print(text)
     return 0 if report.ok else 1
+
+
+def _run_bench(args, config: InstrumentationConfig, parser) -> int:
+    from .experiments.common import CONFIG_LABELS, config_for
+    from .experiments.runner import JobRequest, engine_from_args
+    from .workloads import all_names, get
+
+    if args.workload not in all_names():
+        parser.error(
+            f"unknown workload {args.workload!r}; "
+            f"choose from {', '.join(all_names())}"
+        )
+    workload = get(args.workload)
+    # The cache is opt-in for one-off benches (explicit --cache-dir);
+    # canonical configurations share entries with the experiment matrix
+    # by resolving to their CONFIG_LABELS label.
+    engine = engine_from_args(args, require_cache_dir=True)
+    if config.approach == "noop":
+        label, override = "baseline", None
+    else:
+        label = next((name for name in CONFIG_LABELS
+                      if config_for(name) == config),
+                     f"{config.approach}-custom")
+        override = config
+    result = engine.run_request(JobRequest(
+        workload, label,
+        extension_point=args.extension_point,
+        config_override=override,
+        engine=args.engine,
+    ))
+    print(f"{args.workload}: {result.describe}  cycles={result.cycles}")
+    if result.checks_executed:
+        print(f"checks: {result.checks_executed} "
+              f"({result.unsafe_percent:.2f}% wide)")
+    if args.compare_baseline and label != "baseline":
+        base = engine.run_request(JobRequest(workload, "baseline",
+                                             engine=args.engine))
+        print(f"baseline cycles={base.cycles}  "
+              f"overhead={result.cycles / base.cycles:.2f}x")
+    return 0 if result.ok else 1
+
+
+def _run_campaign(args) -> int:
+    import json as json_mod
+
+    from .campaign import (CampaignRunner, append_entry, find_regressions,
+                           load_spec)
+    from .experiments.runner import engine_from_args
+
+    spec = load_spec(args.spec)
+    engine = engine_from_args(args, engine_keyed_cache=True)
+    runner = CampaignRunner(spec, engine,
+                            shard_index=args.shard_index,
+                            shard_count=args.shard_count)
+    if args.dry_run:
+        cells = runner.shard_cells()
+        for cell in cells:
+            print(cell.id)
+        print(f"-- {len(cells)} cell(s) in shard "
+              f"{args.shard_index + 1}/{args.shard_count} "
+              f"(of {len(runner.cells())} total)", file=sys.stderr)
+        return 0
+
+    def progress(done: int, total: int) -> None:
+        print(f"[campaign] {done}/{total} cells", file=sys.stderr)
+
+    result = runner.run(progress=progress, batch=args.batch)
+
+    regressions = []
+    if args.history:
+        append_entry(args.history, result)
+        regressions = find_regressions(args.history)
+        for regression in regressions:
+            print(f"[campaign] {regression.describe()}", file=sys.stderr)
+
+    if args.format == "json":
+        text = json_mod.dumps(result.to_json(), indent=2)
+    else:
+        text = result.summary()
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text if text.endswith("\n") else text + "\n")
+        print(f"written to {args.output}")
+    else:
+        print(text)
+    print(f"[engine] {engine.executed_jobs} jobs executed, "
+          f"{engine.cache_hits} served from cache", file=sys.stderr)
+    if not result.ok:
+        return 1
+    if regressions and args.fail_on_regression:
+        return 1
+    return 0
+
+
+def _run_serve(args) -> int:
+    from .campaign import make_server
+    from .experiments.runner import engine_from_args
+
+    engine = engine_from_args(args, engine_keyed_cache=True)
+    server, _ = make_server(args.host, args.port, engine,
+                            default_max_instructions=args.max_instructions,
+                            verbose=args.verbose)
+    host, port = server.server_address[:2]
+    # Machine-readable: CI starts with --port 0 and parses this line.
+    print(f"repro serve listening on http://{host}:{port}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        pass
+    finally:
+        server.server_close()
+    return 0
 
 
 def _run_experiment(args, parser) -> int:
@@ -437,6 +622,45 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"error: {exc}", file=sys.stderr)
             return 1
 
+    if args.command == "bench":
+        try:
+            return _run_bench(args, config, parser)
+        except ConfigError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        except OSError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+
+    if args.command == "campaign":
+        try:
+            return _run_campaign(args)
+        except ConfigError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        except OSError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+
+    if args.command == "serve":
+        try:
+            return _run_serve(args)
+        except ConfigError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        except OSError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+
     if args.command in EXPERIMENT_COMMANDS:
         try:
             return _run_experiment(args, parser)
@@ -483,34 +707,6 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(format_module(program.module), end="")
             return 0
 
-        if args.command == "bench":
-            from .workloads import all_names, get
-
-            if args.workload not in all_names():
-                parser.error(
-                    f"unknown workload {args.workload!r}; "
-                    f"choose from {', '.join(all_names())}"
-                )
-            workload = get(args.workload)
-            opts = CompileOptions(
-                obfuscate_pointer_copies=tuple(workload.obfuscated_units),
-                **options_kwargs,
-            )
-            program = compile_program(workload.sources, config, opts)
-            result = run_program(program, max_instructions=100_000_000,
-                                 engine=args.engine)
-            print(f"{args.workload}: {result.describe()}  "
-                  f"cycles={result.stats.cycles}")
-            if result.stats.checks_executed:
-                print(f"checks: {result.stats.checks_executed} "
-                      f"({result.stats.unsafe_percent:.2f}% wide)")
-            if args.compare_baseline:
-                base = compile_program(workload.sources, options=opts)
-                base_result = run_program(base, max_instructions=100_000_000,
-                                          engine=args.engine)
-                print(f"baseline cycles={base_result.stats.cycles}  "
-                      f"overhead={result.stats.cycles / base_result.stats.cycles:.2f}x")
-            return 0 if result.ok else 1
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

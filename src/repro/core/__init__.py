@@ -11,7 +11,15 @@ from .instrument import (
 )
 from .itarget import ITarget, TargetKind, TargetStatistics
 from .lf_mechanism import LowFatMechanism
-from .mechanism import InstrumentationMechanism
+from .mechanism import (
+    InstrumentationMechanism,
+    MechanismRegistration,
+    create_mechanism,
+    get_mechanism,
+    install_runtime,
+    mechanism_names,
+    register_mechanism,
+)
 from .sb_mechanism import SoftBoundMechanism
 
 __all__ = [
@@ -20,13 +28,19 @@ __all__ = [
     "InstrumentationMechanism",
     "InstrumenterHandle",
     "LowFatMechanism",
+    "MechanismRegistration",
     "MemInstrumentPass",
     "SoftBoundMechanism",
     "TargetKind",
     "TargetStatistics",
+    "create_mechanism",
     "dominance_filter",
     "gather_function_targets",
+    "get_mechanism",
+    "install_runtime",
+    "mechanism_names",
     "range_filter",
+    "register_mechanism",
     "instrument_module",
     "make_instrumenter",
 ]

@@ -28,8 +28,22 @@ from typing import Iterable, List
 
 from ..errors import ConfigError
 
-APPROACHES = ("softbound", "lowfat", "noop")
 MODES = ("full", "geninvariants")
+
+
+def _approaches():
+    # Lazy: the registry lives in .mechanism, which imports this
+    # module for the InstrumentationConfig type.
+    from .mechanism import mechanism_names
+
+    return mechanism_names()
+
+
+def __getattr__(name):
+    # Historical constant; the registry is the source of truth now.
+    if name == "APPROACHES":
+        return _approaches()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 @dataclass(frozen=True)
@@ -46,8 +60,10 @@ class InstrumentationConfig:
     policy_ignore_inline_asm: bool = True
 
     def __post_init__(self) -> None:
-        if self.approach not in APPROACHES:
-            raise ConfigError(f"unknown approach {self.approach!r}")
+        if self.approach not in _approaches():
+            raise ConfigError(
+                f"unknown approach {self.approach!r} (registered "
+                f"mechanisms: {', '.join(_approaches())})")
         if self.mode not in MODES:
             raise ConfigError(f"unknown mode {self.mode!r}")
 
@@ -81,7 +97,15 @@ class InstrumentationConfig:
 
     @staticmethod
     def from_flags(flags: Iterable[str]) -> "InstrumentationConfig":
-        """Parse the artifact's flag syntax into a configuration."""
+        """Parse the artifact's flag syntax into a configuration.
+
+        The framework-level flags (``-mi-config=``, ``-mi-mode=``, the
+        check-elimination filters, and policies) are handled here;
+        every mechanism-specific flag is resolved through the handlers
+        the mechanisms registered in :mod:`.mechanism`, so a new
+        mechanism's flags parse without touching this module."""
+        from .mechanism import handle_mechanism_flag
+
         kwargs = {}
         for flag in flags:
             if flag.startswith("-mi-config="):
@@ -92,14 +116,8 @@ class InstrumentationConfig:
                 kwargs["opt_dominance"] = True
             elif flag == "-mi-opt-ranges":
                 kwargs["opt_ranges"] = True
-            elif flag == "-mi-sb-size-zero-wide-upper":
-                kwargs["sb_size_zero_wide_upper"] = True
-            elif flag == "-mi-sb-inttoptr-wide-bounds":
-                kwargs["sb_inttoptr_wide_bounds"] = True
-            elif flag == "-mi-lf-transform-common-to-weak-linkage":
-                kwargs["lf_transform_common_to_weak_linkage"] = True
             elif flag == "-mi-policy-ignore-inline-asm":
                 kwargs["policy_ignore_inline_asm"] = True
-            else:
+            elif not handle_mechanism_flag(flag, kwargs):
                 raise ConfigError(f"unknown MemInstrument flag {flag!r}")
         return InstrumentationConfig(**kwargs)

@@ -26,17 +26,7 @@ from .config import InstrumentationConfig
 from .filters import dominance_filter, range_filter
 from .gather import gather_function_targets
 from .itarget import CheckSiteInfo, ITarget, TargetStatistics
-from .lf_mechanism import LowFatMechanism
-from .mechanism import InstrumentationMechanism
-from .sb_mechanism import SoftBoundMechanism
-
-
-def _make_mechanism(config: InstrumentationConfig) -> Optional[InstrumentationMechanism]:
-    if config.approach == "softbound":
-        return SoftBoundMechanism(config)
-    if config.approach == "lowfat":
-        return LowFatMechanism(config)
-    return None  # noop
+from .mechanism import InstrumentationMechanism, create_mechanism
 
 
 class MemInstrumentPass:
@@ -55,7 +45,7 @@ class MemInstrumentPass:
         self.check_sites: Dict[str, CheckSiteInfo] = {}
 
     def run(self, module: Module) -> None:
-        mechanism = _make_mechanism(self.config)
+        mechanism = create_mechanism(self.config)
         if mechanism is None:
             return
         mechanism.prepare_module(module)

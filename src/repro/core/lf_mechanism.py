@@ -40,7 +40,12 @@ from ..ir.module import Function, GlobalVariable, Module
 from ..ir.types import I64, IntType, PointerType, size_of
 from ..ir.values import Argument, ConstantInt, ConstantNull, UndefValue, Value
 from .itarget import CheckSiteInfo, ITarget, TargetKind
-from .mechanism import InstrumentationMechanism, RUNTIME_DECLARATIONS
+from .mechanism import (
+    InstrumentationMechanism,
+    RUNTIME_DECLARATIONS,
+    register_mechanism,
+    set_flag,
+)
 
 #: libc allocation entry points and their low-fat replacements.
 ALLOCATOR_REPLACEMENTS = {
@@ -272,3 +277,22 @@ class LowFatMechanism(InstrumentationMechanism):
         builder = self.marked_builder(self._fn)
         builder.position_after(select)
         return builder.select(select.condition, true_base, false_base)
+
+
+def _lowfat_runtime(config, lf_region_capacity=None):
+    from ..lowfat.runtime import LowFatRuntime
+
+    return LowFatRuntime(region_capacity=lf_region_capacity)
+
+
+register_mechanism(
+    "lowfat",
+    factory=LowFatMechanism,
+    flag_handlers={
+        "-mi-lf-transform-common-to-weak-linkage":
+            set_flag("lf_transform_common_to_weak_linkage"),
+    },
+    runtime_factory=_lowfat_runtime,
+    description="Low-Fat Pointers: pointer-derivable bounds via "
+                "size-class regions (paper Figure 5)",
+)

@@ -10,8 +10,10 @@ dynamic check statistics to source-level sites (Table 2).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
+from ..errors import ConfigError
 from ..ir.builder import IRBuilder
 from ..ir.instructions import Instruction
 from ..ir.module import Function, Module
@@ -118,3 +120,144 @@ class MarkingBuilder(IRBuilder):
     def insert(self, inst: Instruction) -> Instruction:
         inst.meta["mi"] = True
         return super().insert(inst)
+
+
+# ----------------------------------------------------------------------
+# The mechanism registry.
+#
+# Every instrumentation approach is described once, here, by a
+# :class:`MechanismRegistration`: how to build the compile-time
+# mechanism from a configuration, which ``-mi-*`` flags belong to it,
+# and how to build the VM runtime that its instrumented code calls
+# into.  ``InstrumentationConfig.from_flags``, the pass orchestrator in
+# :mod:`.instrument`, :func:`repro.driver.make_vm`, and the campaign
+# layer's instance resolution all consult the registry instead of
+# hardcoding approach names -- adding a mechanism (MESH, CGuard, ...) is
+# one ``register_mechanism`` call in its module, with no edits to core
+# dispatch, flag parsing, the CLI, or the experiment modules.
+
+#: A flag handler mutates the ``InstrumentationConfig`` kwargs dict
+#: that ``from_flags`` is accumulating.
+FlagHandler = Callable[[Dict[str, object]], None]
+
+
+def set_flag(key: str, value: object = True) -> FlagHandler:
+    """The common case: a boolean ``-mi-*`` switch setting one field."""
+    def handler(kwargs: Dict[str, object]) -> None:
+        kwargs[key] = value
+    return handler
+
+
+@dataclass(frozen=True)
+class MechanismRegistration:
+    """One registered instrumentation approach."""
+
+    name: str
+    #: config -> mechanism instance (None for approaches that insert
+    #: no instrumentation, i.e. noop).
+    factory: Callable[[InstrumentationConfig],
+                      Optional["InstrumentationMechanism"]]
+    #: exact ``-mi-*`` flag spelling -> kwargs mutation.
+    flag_handlers: Mapping[str, FlagHandler] = field(default_factory=dict)
+    #: (config, lf_region_capacity) -> runtime object with
+    #: ``.install(vm)``, or None when the approach needs no runtime.
+    runtime_factory: Optional[Callable[..., object]] = None
+    description: str = ""
+
+
+_REGISTRY: Dict[str, MechanismRegistration] = {}
+_BUILTINS_LOADED = False
+
+
+def register_mechanism(
+    name: str,
+    factory: Callable[[InstrumentationConfig],
+                      Optional["InstrumentationMechanism"]],
+    flag_handlers: Optional[Mapping[str, FlagHandler]] = None,
+    runtime_factory: Optional[Callable[..., object]] = None,
+    description: str = "",
+) -> MechanismRegistration:
+    """Register an instrumentation approach under ``name``.
+
+    Mechanisms self-register at import time (see the bottom of
+    ``sb_mechanism.py`` / ``lf_mechanism.py``); re-registering a name
+    is an error so two mechanisms can never shadow each other."""
+    if name in _REGISTRY:
+        raise ValueError(f"mechanism {name!r} is already registered")
+    registration = MechanismRegistration(
+        name=name,
+        factory=factory,
+        flag_handlers=dict(flag_handlers or {}),
+        runtime_factory=runtime_factory,
+        description=description,
+    )
+    _REGISTRY[name] = registration
+    return registration
+
+
+def _ensure_builtins() -> None:
+    """Import the built-in mechanism modules for their registration
+    side effect (mirrors the workload registry's lazy loading)."""
+    global _BUILTINS_LOADED
+    if _BUILTINS_LOADED:
+        return
+    _BUILTINS_LOADED = True
+    from . import lf_mechanism, sb_mechanism  # noqa: F401
+
+
+def mechanism_names() -> Tuple[str, ...]:
+    """All registered approach names, sorted."""
+    _ensure_builtins()
+    return tuple(sorted(_REGISTRY))
+
+
+def get_mechanism(name: str) -> MechanismRegistration:
+    _ensure_builtins()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown approach {name!r} (registered mechanisms: "
+            f"{', '.join(sorted(_REGISTRY))})") from None
+
+
+def create_mechanism(
+    config: InstrumentationConfig,
+) -> Optional["InstrumentationMechanism"]:
+    """Build the mechanism for ``config.approach`` (None for noop)."""
+    return get_mechanism(config.approach).factory(config)
+
+
+def handle_mechanism_flag(flag: str, kwargs: Dict[str, object]) -> bool:
+    """Offer ``flag`` to every registered mechanism's handlers.
+
+    Returns True when a handler claimed the flag (after mutating
+    ``kwargs``); ``from_flags`` raises its ConfigError otherwise."""
+    _ensure_builtins()
+    for registration in _REGISTRY.values():
+        handler = registration.flag_handlers.get(flag)
+        if handler is not None:
+            handler(kwargs)
+            return True
+    return False
+
+
+def install_runtime(vm, config: InstrumentationConfig,
+                    lf_region_capacity: Optional[int] = None) -> None:
+    """Install the approach's VM runtime (no-op for runtimeless
+    approaches)."""
+    registration = get_mechanism(config.approach)
+    if registration.runtime_factory is None:
+        return
+    runtime = registration.runtime_factory(
+        config, lf_region_capacity=lf_region_capacity)
+    runtime.install(vm)
+
+
+# The noop approach is the registry's trivial member: no mechanism
+# object, no flags, no runtime.
+register_mechanism(
+    "noop",
+    factory=lambda config: None,
+    description="uninstrumented baseline",
+)

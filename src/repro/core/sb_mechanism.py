@@ -44,6 +44,8 @@ from .mechanism import (
     InstrumentationMechanism,
     RUNTIME_DECLARATIONS,
     WIDE_BOUND_INT,
+    register_mechanism,
+    set_flag,
 )
 
 Witness = Tuple[Value, Value]  # (base, bound), both i64
@@ -360,3 +362,27 @@ class SoftBoundMechanism(InstrumentationMechanism):
             return (base, ConstantInt(I64, 0))
         bound = builder.add(base, ConstantInt(I64, size_of(gv.value_type)))
         return (base, bound)
+
+
+def _softbound_runtime(config, lf_region_capacity=None):
+    from ..softbound.runtime import SoftBoundRuntime
+
+    return SoftBoundRuntime(
+        missing_metadata_wide=config.sb_missing_metadata_wide,
+        wrapper_checks=config.sb_wrapper_checks,
+    )
+
+
+register_mechanism(
+    "softbound",
+    factory=SoftBoundMechanism,
+    flag_handlers={
+        "-mi-sb-size-zero-wide-upper": set_flag("sb_size_zero_wide_upper"),
+        "-mi-sb-inttoptr-wide-bounds": set_flag("sb_inttoptr_wide_bounds"),
+        "-mi-sb-missing-metadata-wide": set_flag("sb_missing_metadata_wide"),
+        "-mi-sb-wrapper-checks": set_flag("sb_wrapper_checks"),
+    },
+    runtime_factory=_softbound_runtime,
+    description="SoftBound: disjoint (base, bound) metadata in a trie "
+                "plus a shadow stack (paper Figure 2)",
+)

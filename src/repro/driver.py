@@ -28,11 +28,11 @@ from typing import Dict, List, Optional, Sequence, Union
 from .core.config import InstrumentationConfig
 from .core.instrument import InstrumenterHandle, make_instrumenter
 from .core.itarget import CheckSiteInfo, TargetStatistics
+from .core.mechanism import install_runtime
 from .errors import MemoryFault, MemSafetyViolation, ProgramAbort, VMError
 from .frontend.codegen import compile_source
 from .ir.module import Module
 from .ir.verifier import verify_module
-from .lowfat.runtime import LowFatRuntime
 from .opt.dce import DCE
 from .opt.gvn import GVN
 from .opt.inline import Inliner
@@ -40,7 +40,6 @@ from .opt.instcombine import InstCombine
 from .opt.pass_manager import PassManager
 from .opt.pipeline import build_pipeline
 from .opt.simplifycfg import SimplifyCFG
-from .softbound.runtime import SoftBoundRuntime
 from .vm.interpreter import VirtualMachine
 from .vm.stats import RuntimeStats
 
@@ -172,14 +171,9 @@ def make_vm(
         program.module, max_instructions=max_instructions, engine=engine,
         profile=profile,
     )
-    config = program.config
-    if config.approach == "softbound":
-        SoftBoundRuntime(
-            missing_metadata_wide=config.sb_missing_metadata_wide,
-            wrapper_checks=config.sb_wrapper_checks,
-        ).install(vm)
-    elif config.approach == "lowfat":
-        LowFatRuntime(region_capacity=lf_region_capacity).install(vm)
+    # The registry knows which runtime (if any) the approach's
+    # instrumented code calls into.
+    install_runtime(vm, program.config, lf_region_capacity=lf_region_capacity)
     return vm
 
 

@@ -58,9 +58,20 @@ def default_cache_dir() -> Path:
     return Path(base) / "repro-bench"
 
 
-def job_key(payload: dict) -> str:
-    """Content hash of a job payload (minus the non-key fields)."""
+def job_key(payload: dict, engine_keyed: bool = False) -> str:
+    """Content hash of a job payload (minus the non-key fields).
+
+    With ``engine_keyed=True`` the VM execution engine *is* part of the
+    key: campaigns that deliberately sweep both VM tiers partition the
+    cache per engine, so a shard resuming an ``interp`` instance can
+    never be served a ``compiled`` entry (and vice versa) -- which is
+    what keeps mixed-engine campaign results honest while still fully
+    resumable.  The default, engine-agnostic key encodes the two tiers'
+    bit-identical-statistics contract: either engine's result answers
+    for both."""
     keyed = {k: v for k, v in payload.items() if k not in _NON_KEY_FIELDS}
+    if engine_keyed:
+        keyed["engine"] = payload.get("engine", "compiled")
     keyed["repro_version"] = __version__
     keyed["cache_format"] = CACHE_FORMAT_VERSION
     blob = json.dumps(keyed, sort_keys=True, separators=(",", ":"))

@@ -174,6 +174,7 @@ class ExperimentEngine:
         job_timeout: Optional[float] = None,
         verify_cache: bool = False,
         vm_engine: str = "compiled",
+        engine_keyed_cache: bool = False,
     ):
         self.jobs = max(1, int(jobs))
         self.cache = cache
@@ -181,6 +182,13 @@ class ExperimentEngine:
         self.job_timeout = job_timeout
         self.verify_cache = verify_cache
         self.vm_engine = vm_engine
+        #: campaign mode: partition the disk cache per VM engine so a
+        #: mixed-engine batch caches (and resumes) every cell, and no
+        #: cell can ever be served another engine's stored stats.  Off
+        #: (the default), the cache is engine-agnostic and per-request
+        #: engine overrides bypass it entirely (the fuzz oracle's
+        #: differential setting).
+        self.engine_keyed_cache = engine_keyed_cache
         self.executed_jobs = 0
         self._memo: Dict[str, BenchResult] = {}
         self._payloads: Dict[str, dict] = {}
@@ -236,7 +244,7 @@ class ExperimentEngine:
                     or key in pending_rest:
                 return key
             self._payloads[key] = payload
-            cached = (self.cache.get(job_key(payload))
+            cached = (self.cache.get(self._disk_key(payload))
                       if self._cache_covers(payload) else None)
             if cached is not None:
                 self._memo[key] = BenchResult.from_json(cached)
@@ -247,8 +255,13 @@ class ExperimentEngine:
             else:
                 pending_rest[key] = payload
                 if request.validate_output:
+                    # the reference inherits the instruction budget so
+                    # it coincides (memo and cache key) with an
+                    # explicitly requested baseline cell of the same
+                    # batch -- a campaign never runs its baseline twice
                     needs_reference[key] = admit(
                         JobRequest(request.workload, "baseline",
+                                   max_instructions=request.max_instructions,
                                    engine=request.engine))
             return key
 
@@ -292,15 +305,37 @@ class ExperimentEngine:
             "engine": request.engine or self.vm_engine,
         }
 
-    def _cache_covers(self, payload: dict) -> bool:
-        """The disk cache speaks for the engine-wide ``vm_engine`` only.
+    def _disk_key(self, payload: dict) -> str:
+        return job_key(payload, engine_keyed=self.engine_keyed_cache)
 
-        Per-request engine overrides bypass it: serving (or storing)
-        an override's result under the engine-agnostic key would let a
-        ``compiled`` entry answer an ``interp`` job, and the whole
-        point of mixed-engine batches is to *check* that those agree.
+    def fingerprint(self, request: JobRequest) -> str:
+        """A shard-stable content key for ``request``.
+
+        Always engine-qualified, independent of request order and of
+        this engine's cache mode -- the campaign layer assigns cells to
+        shards by hashing this, so every shard of a sweep agrees on the
+        partition without coordination."""
+        return job_key(self._payload(request), engine_keyed=True)
+
+    def _cache_covers(self, payload: dict) -> bool:
+        """Whether the disk cache may serve/store this job's result.
+
+        Engine-agnostic mode (the default): the cache speaks for the
+        engine-wide ``vm_engine`` only.  Per-request engine overrides
+        bypass it, because serving (or storing) an override's result
+        under the engine-agnostic key would let a ``compiled`` entry
+        answer an ``interp`` job, and the whole point of mixed-engine
+        batches is to *check* that those agree.
+
+        Engine-keyed mode (campaigns): every job is covered -- the key
+        itself carries the engine, so mixed-engine shards cache every
+        cell without any risk of cross-engine serving.
         """
-        return self.cache is not None and payload["engine"] == self.vm_engine
+        if self.cache is None:
+            return False
+        if self.engine_keyed_cache:
+            return True
+        return payload["engine"] == self.vm_engine
 
     def _execute(self, pending: Dict[str, dict]) -> None:
         if not pending:
@@ -316,10 +351,12 @@ class ExperimentEngine:
             self._memo[key] = result
             self.executed_jobs += 1
             if self._cache_covers(payload) and result.status != "failed":
-                self.cache.put(job_key(payload), result.to_json(), describe={
+                self.cache.put(self._disk_key(payload), result.to_json(),
+                               describe={
                     "workload": payload["workload"],
                     "label": payload["label"],
                     "extension_point": payload["extension_point"],
+                    "engine": payload["engine"],
                 })
         pending.clear()
 
@@ -377,12 +414,26 @@ class ExperimentEngine:
 
 # ----------------------------------------------------------------------
 # argparse integration shared by cli.py and report.py
+#
+# The option groups below are the single source of truth for the
+# engine's command-line surface: every subcommand that runs jobs
+# composes them (directly or through a cli.py parent parser), so
+# ``--jobs``/``--cache-dir``/``--engine`` spell, default, and document
+# themselves identically everywhere.
 
-def add_engine_arguments(parser) -> None:
-    """Attach the engine's ``--jobs``/``--cache-dir``/... options."""
+def add_pool_arguments(parser, default_jobs: int = 1) -> None:
+    """``--jobs`` / ``--job-timeout`` (the worker-pool knobs)."""
     parser.add_argument(
-        "--jobs", "-j", type=int, default=1, metavar="N",
-        help="number of worker processes (default: 1, serial)")
+        "--jobs", "-j", type=int, default=default_jobs, metavar="N",
+        help=f"number of worker processes (default: {default_jobs}; "
+             "0 = all CPU cores)")
+    parser.add_argument(
+        "--job-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-job time limit; jobs past it become failed results")
+
+
+def add_cache_arguments(parser) -> None:
+    """``--cache-dir`` / ``--no-cache`` / ``--verify-cache``."""
     parser.add_argument(
         "--cache-dir", default=None, metavar="DIR",
         help="on-disk result cache directory "
@@ -394,30 +445,59 @@ def add_engine_arguments(parser) -> None:
         "--verify-cache", action="store_true",
         help="recompute one cached result per run and hard-error on "
              "any mismatch")
-    parser.add_argument(
-        "--job-timeout", type=float, default=None, metavar="SECONDS",
-        help="per-job time limit; jobs past it become failed results")
-    parser.add_argument(
-        "--workloads", default=None, metavar="NAME[,NAME...]",
-        help="restrict matrix experiments to these workloads")
+
+
+def add_vm_engine_argument(parser) -> None:
+    """``--engine`` (the VM execution tier)."""
     from ..vm.interpreter import ENGINES
 
     parser.add_argument(
         "--engine", default="compiled", choices=ENGINES,
-        help="VM execution engine (bit-identical results; 'interp' is "
-             "the slow reference tree-walker)")
+        help="VM execution engine: 'compiled' is the closure-compiled "
+             "tier (default), 'interp' the slow reference tree-walker; "
+             "results are bit-identical")
 
 
-def engine_from_args(args) -> ExperimentEngine:
+def add_engine_arguments(parser) -> None:
+    """Attach the engine's full option set (pool + cache + workload
+    subset + VM engine) to ``parser``."""
+    add_pool_arguments(parser)
+    add_cache_arguments(parser)
+    parser.add_argument(
+        "--workloads", default=None, metavar="NAME[,NAME...]",
+        help="restrict matrix experiments to these workloads")
+    add_vm_engine_argument(parser)
+
+
+def resolve_jobs(jobs: int) -> int:
+    """``--jobs 0`` means one worker per CPU core."""
+    import os
+
+    return jobs if jobs > 0 else (os.cpu_count() or 1)
+
+
+def engine_from_args(args, engine_keyed_cache: bool = False,
+                     require_cache_dir: bool = False) -> ExperimentEngine:
+    """Build the engine an argparse namespace describes.
+
+    ``engine_keyed_cache`` turns on the per-VM-engine cache partition
+    (campaign / serve mode).  With ``require_cache_dir`` the disk cache
+    is opt-in: it is only built when ``--cache-dir`` was passed
+    explicitly (the fuzz oracle's setting -- differential runs must not
+    silently reuse a stale default cache)."""
     cache = None
     if not args.no_cache:
-        cache = ResultCache(args.cache_dir or default_cache_dir())
+        if args.cache_dir:
+            cache = ResultCache(args.cache_dir)
+        elif not require_cache_dir:
+            cache = ResultCache(default_cache_dir())
     return ExperimentEngine(
-        jobs=args.jobs,
+        jobs=resolve_jobs(args.jobs),
         cache=cache,
         job_timeout=args.job_timeout,
         verify_cache=args.verify_cache,
         vm_engine=getattr(args, "engine", "compiled"),
+        engine_keyed_cache=engine_keyed_cache,
     )
 
 

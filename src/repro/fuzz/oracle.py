@@ -31,6 +31,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from ..campaign.model import Instance, standard_instances
 from ..errors import ConfigError
 from ..experiments.cache import ResultCache
 from ..experiments.common import BenchResult
@@ -41,11 +42,54 @@ from .generator import CoverageReport, GeneratedProgram
 
 @dataclass(frozen=True)
 class Matrix:
-    """A named slice of the full configuration space."""
+    """A named slice of the full configuration space.
+
+    A matrix is a *complete* labels x engines product of campaign
+    :class:`~repro.campaign.model.Instance` axes -- the oracle's grid
+    comparisons (engine-divergence, filter chains) index cells by
+    ``(label, engine)`` and need every cell present.  Build one from
+    instances with :meth:`from_instances`, or directly from label and
+    engine tuples; :meth:`instances` recovers the instance list either
+    way, and is what the oracle actually schedules."""
 
     name: str
     labels: Tuple[str, ...]
     engines: Tuple[str, ...]
+
+    @classmethod
+    def from_instances(cls, name: str,
+                       instances: Sequence[Instance]) -> "Matrix":
+        """Derive a matrix from campaign instances.
+
+        The instances must form a complete, duplicate-free
+        labels x engines product (same check axes for every engine);
+        anything else would leave holes in the differential grid."""
+        labels = tuple(dict.fromkeys(i.label for i in instances))
+        engines = tuple(dict.fromkeys(i.engine for i in instances))
+        cells = [(i.label, i.engine) for i in instances]
+        if len(set(cells)) != len(cells):
+            raise ConfigError(
+                f"matrix {name!r}: duplicate (label, engine) cells")
+        missing = [f"{label}@{engine}"
+                   for engine in engines for label in labels
+                   if (label, engine) not in set(cells)]
+        if missing:
+            raise ConfigError(
+                f"matrix {name!r} is not a complete labels x engines "
+                f"product; missing: {', '.join(missing)}")
+        off_axis = [i.name for i in instances
+                    if i.extension_point != "VectorizerStart"
+                    or i.config_overrides]
+        if off_axis:
+            raise ConfigError(
+                f"matrix {name!r}: instances with extension-point or "
+                f"config overrides are ambiguous as (label, engine) "
+                f"cells: {', '.join(off_axis)}")
+        return cls(name, labels=labels, engines=engines)
+
+    def instances(self) -> List[Instance]:
+        """The campaign instances of this matrix, in cell order."""
+        return standard_instances(self.labels, self.engines)
 
     @property
     def cells(self) -> List[Tuple[str, str]]:
@@ -56,19 +100,17 @@ class Matrix:
         return len(self.labels) * len(self.engines)
 
 
-FULL_MATRIX = Matrix(
-    "full",
-    labels=("baseline",
-            "softbound-unopt", "softbound", "softbound-ranges",
-            "lowfat-unopt", "lowfat", "lowfat-ranges"),
+FULL_MATRIX = Matrix.from_instances("full", standard_instances(
+    ("baseline",
+     "softbound-unopt", "softbound", "softbound-ranges",
+     "lowfat-unopt", "lowfat", "lowfat-ranges"),
     engines=("compiled", "interp"),
-)
+))
 
-QUICK_MATRIX = Matrix(
-    "quick",
-    labels=("baseline", "softbound", "lowfat"),
+QUICK_MATRIX = Matrix.from_instances("quick", standard_instances(
+    ("baseline", "softbound", "lowfat"),
     engines=("compiled",),
-)
+))
 
 MATRICES: Dict[str, Matrix] = {m.name: m for m in (FULL_MATRIX, QUICK_MATRIX)}
 
@@ -196,6 +238,7 @@ class DifferentialOracle:
         max_instructions: int = 5_000_000,
         job_timeout: Optional[float] = None,
         cache: Optional[ResultCache] = None,
+        verify_cache: bool = False,
     ):
         if isinstance(matrix, str):
             try:
@@ -210,11 +253,13 @@ class DifferentialOracle:
                 "matrix: cache keys are engine-agnostic, so cached "
                 "results would make the engine comparison vacuous")
         self.matrix = matrix
+        self._instances = matrix.instances()
         self.engine = ExperimentEngine(
             jobs=jobs,
             cache=cache,
             max_instructions=max_instructions,
             job_timeout=job_timeout,
+            verify_cache=verify_cache,
         )
 
     # ------------------------------------------------------------------
@@ -223,8 +268,14 @@ class DifferentialOracle:
         return self.engine.executed_jobs
 
     def _requests(self, workload: Workload) -> List[JobRequest]:
-        return [JobRequest(workload, label, engine=engine)
-                for label, engine in self.matrix.cells]
+        # One request per campaign instance, in the grid's cell order;
+        # the instance resolves its own configuration through the
+        # mechanism registry.
+        return [JobRequest(workload, instance.label,
+                           extension_point=instance.extension_point,
+                           config_override=instance.config(),
+                           engine=instance.engine)
+                for instance in self._instances]
 
     def check_sources(self, sources: Dict[str, str],
                       name: str = "fuzz-candidate") -> List[Mismatch]:

@@ -1,0 +1,230 @@
+"""The redesigned public API: instances, targets, expansion, and the
+mechanism registry it rests on."""
+
+import pytest
+
+from repro.campaign import (
+    FILTER_SETS,
+    CampaignSpec,
+    Instance,
+    Target,
+    axes_instances,
+    standard_instances,
+)
+from repro.core.config import APPROACHES, InstrumentationConfig
+from repro.core.mechanism import (
+    MechanismRegistration,
+    create_mechanism,
+    get_mechanism,
+    handle_mechanism_flag,
+    mechanism_names,
+    register_mechanism,
+)
+from repro.errors import ConfigError
+from repro.experiments.common import CONFIG_LABELS, config_for
+
+
+class TestInstance:
+    def test_canonical_labels_match_experiment_harness(self):
+        # every canonical CONFIG_LABELS label round-trips: label ->
+        # Instance -> same label AND bit-identical configuration
+        for label in CONFIG_LABELS:
+            instance = Instance.from_label(label)
+            assert instance.label == label
+            assert instance.config() == config_for(label)
+
+    def test_baseline_has_no_config(self):
+        assert Instance("baseline").config() is None
+        assert Instance("noop").is_baseline
+
+    def test_unknown_mechanism_rejected(self):
+        with pytest.raises(ConfigError, match="unknown approach"):
+            Instance("boundsguard")
+
+    def test_unknown_filter_rejected(self):
+        with pytest.raises(ConfigError, match="unknown check filter"):
+            Instance("softbound", filters=("alias",))
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ConfigError, match="unknown VM engine"):
+            Instance("softbound", engine="jit")
+
+    def test_unknown_label_rejected(self):
+        with pytest.raises(ConfigError, match="unknown configuration"):
+            Instance.from_label("softbound-turbo")
+
+    def test_name_includes_engine(self):
+        assert Instance("softbound", filters=("dominance",),
+                        engine="interp").name == "softbound@interp"
+
+    def test_parse_label_form(self):
+        instance = Instance.parse({"label": "lowfat-ranges",
+                                   "engine": "interp"})
+        assert instance.mechanism == "lowfat"
+        assert instance.filters == ("dominance", "ranges")
+        assert instance.engine == "interp"
+
+    def test_parse_explicit_form(self):
+        instance = Instance.parse({"mechanism": "softbound",
+                                   "filters": "ranges",
+                                   "mode": "full"})
+        assert instance.label == "softbound-ranges"
+
+    def test_parse_rejects_unknown_keys(self):
+        with pytest.raises(ConfigError, match="unknown instance key"):
+            Instance.parse({"mechanism": "softbound", "turbo": True})
+        with pytest.raises(ConfigError, match="cannot also set"):
+            Instance.parse({"label": "softbound", "mode": "full"})
+
+    def test_config_overrides_applied(self):
+        instance = Instance("softbound", filters=("dominance",),
+                            config_overrides={
+                                "sb_missing_metadata_wide": True})
+        config = instance.config()
+        assert config.sb_missing_metadata_wide is True
+        assert "sb_missing_metadata_wide=True" in instance.label
+
+
+class TestExpansion:
+    def test_expansion_is_deterministic_and_order_independent(self):
+        instances = standard_instances(
+            ("baseline", "softbound", "lowfat-ranges"),
+            engines=("compiled", "interp"))
+        targets = [Target("164gzip"), Target("181mcf")]
+        forward = CampaignSpec("s", instances, targets).expand()
+        backward = CampaignSpec("s", list(reversed(instances)),
+                                list(reversed(targets))).expand()
+        assert [c.id for c in forward] == [c.id for c in backward]
+        assert len(forward) == 6 * 2
+
+    def test_duplicate_cells_collapse(self):
+        instances = standard_instances(("baseline", "baseline"))
+        spec = CampaignSpec("s", instances, [Target("164gzip")])
+        assert len(spec.expand()) == 1
+
+    def test_axes_product_collapses_baseline(self):
+        instances = axes_instances(
+            mechanisms=("baseline", "softbound", "lowfat"),
+            filters=("unopt", "dominance", "ranges"),
+            engines=("compiled", "interp"))
+        # 1 baseline + 3 softbound + 3 lowfat per engine
+        assert len(instances) == 14
+        names = [i.name for i in instances]
+        assert names.count("baseline@compiled") == 1
+        assert names.count("baseline@interp") == 1
+
+    def test_axes_unknown_filter_rejected(self):
+        with pytest.raises(ConfigError, match="unknown filter-axis"):
+            axes_instances(mechanisms=("softbound",), filters=("turbo",))
+
+    def test_empty_spec_rejected(self):
+        with pytest.raises(ConfigError, match="no instances"):
+            CampaignSpec("s", [], [Target("164gzip")])
+        with pytest.raises(ConfigError, match="no targets"):
+            CampaignSpec("s", standard_instances(("baseline",)), [])
+
+    def test_unknown_workload_fails_at_request_time(self):
+        with pytest.raises(ConfigError, match="unknown workload"):
+            Target("999nope").workload()
+
+
+class TestRegistry:
+    def test_every_builtin_round_trips(self):
+        # the registry replaces the old APPROACHES tuple: every
+        # registered name builds a working config and mechanism
+        assert set(mechanism_names()) == {"noop", "softbound", "lowfat"}
+        for name in mechanism_names():
+            registration = get_mechanism(name)
+            assert isinstance(registration, MechanismRegistration)
+            config = InstrumentationConfig(approach=name)
+            mechanism = create_mechanism(config)
+            if name == "noop":
+                assert mechanism is None
+            else:
+                assert mechanism is not None
+
+    def test_approaches_attribute_still_works(self):
+        # legacy import surface: config.APPROACHES is now a registry view
+        assert set(APPROACHES) == set(mechanism_names())
+
+    def test_unknown_name_is_config_error(self):
+        with pytest.raises(ConfigError, match="registered mechanisms"):
+            get_mechanism("boundsguard")
+        with pytest.raises(ConfigError):
+            InstrumentationConfig(approach="boundsguard")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_mechanism("softbound", factory=lambda config: None)
+
+    def test_flag_handlers_consulted(self):
+        kwargs = {}
+        assert handle_mechanism_flag("-mi-sb-size-zero-wide-upper", kwargs)
+        assert kwargs["sb_size_zero_wide_upper"] is True
+        assert not handle_mechanism_flag("-mi-unknown-flag", {})
+
+
+class TestLegacyFlagParsing:
+    """Golden test: the artifact's -mi-* flag surface parses through
+    the registry exactly as the pre-registry parser did."""
+
+    GOLDEN = {
+        ("-mi-config=softbound",):
+            InstrumentationConfig(approach="softbound"),
+        ("-mi-config=lowfat", "-mi-opt-dominance"):
+            InstrumentationConfig(approach="lowfat", opt_dominance=True),
+        ("-mi-config=softbound", "-mi-opt-dominance", "-mi-opt-ranges"):
+            InstrumentationConfig(approach="softbound", opt_dominance=True,
+                                  opt_ranges=True),
+        ("-mi-config=softbound", "-mi-mode=geninvariants"):
+            InstrumentationConfig(approach="softbound",
+                                  mode="geninvariants"),
+        ("-mi-config=softbound", "-mi-sb-size-zero-wide-upper"):
+            InstrumentationConfig(approach="softbound",
+                                  sb_size_zero_wide_upper=True),
+        ("-mi-config=softbound", "-mi-sb-inttoptr-wide-bounds"):
+            InstrumentationConfig(approach="softbound",
+                                  sb_inttoptr_wide_bounds=True),
+        ("-mi-config=lowfat",
+         "-mi-lf-transform-common-to-weak-linkage"):
+            InstrumentationConfig(
+                approach="lowfat",
+                lf_transform_common_to_weak_linkage=True),
+        ("-mi-config=softbound", "-mi-policy-ignore-inline-asm"):
+            InstrumentationConfig(approach="softbound",
+                                  policy_ignore_inline_asm=True),
+        ("-mi-config=softbound", "-mi-sb-missing-metadata-wide"):
+            InstrumentationConfig(approach="softbound",
+                                  sb_missing_metadata_wide=True),
+        ("-mi-config=softbound", "-mi-sb-wrapper-checks"):
+            InstrumentationConfig(approach="softbound",
+                                  sb_wrapper_checks=True),
+    }
+
+    def test_golden_flag_combinations(self):
+        for flags, expected in self.GOLDEN.items():
+            assert InstrumentationConfig.from_flags(list(flags)) == expected
+
+    def test_unknown_flag_still_rejected(self):
+        with pytest.raises(ConfigError, match="unknown MemInstrument"):
+            InstrumentationConfig.from_flags(
+                ["-mi-config=softbound", "-mi-sb-enable-turbo"])
+
+    def test_unknown_flag_exits_2_without_traceback(self, capsys):
+        from repro.cli import main
+
+        code = main(["run", "/dev/null", "-mi-config=softbound",
+                     "-mi-sb-enable-turbo"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "Traceback" not in err
+        assert "unknown MemInstrument" in err
+
+    def test_unknown_mechanism_name_exits_2(self, capsys):
+        from repro.cli import main
+
+        code = main(["run", "/dev/null", "-mi-config=boundsguard"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "Traceback" not in err
+        assert "registered mechanisms" in err

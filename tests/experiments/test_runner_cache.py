@@ -411,3 +411,65 @@ class TestEngineOverride:
         second.run_request(JobRequest(workload, "baseline",
                                       engine="compiled"))
         assert second.cache_hits == 1
+
+
+class TestEngineKeyedCache:
+    """``engine_keyed_cache=True`` (campaign/serve mode) partitions the
+    disk cache per VM engine: mixed-engine batches cache every cell,
+    and no cell can ever be served another engine's stored stats."""
+
+    def test_override_jobs_are_cached(self, tmp_path, monkeypatch):
+        """Unlike the engine-agnostic mode, an engine-keyed cache
+        persists overridden-engine jobs -- that is what makes a
+        mixed-engine campaign shard resumable."""
+        workload = get("197parser")
+        first = _engine(tmp_path, engine_keyed_cache=True)
+        first.run_request(JobRequest(workload, "baseline",
+                                     engine="interp"))
+        assert len(first.cache) == 1
+
+        _forbid_execution(monkeypatch)
+        second = _engine(tmp_path, engine_keyed_cache=True)
+        result = second.run_request(JobRequest(workload, "baseline",
+                                               engine="interp"))
+        assert second.cache_hits == 1
+        assert result.cycles > 0
+
+    def test_engines_never_share_entries(self, tmp_path):
+        """A compiled entry must not satisfy an interp request for the
+        byte-identical job (the satellite-6 regression: mixed-engine
+        campaign shards being served another engine's cached stats)."""
+        workload = get("197parser")
+        first = _engine(tmp_path, engine_keyed_cache=True)
+        first.run_request(JobRequest(workload, "baseline",
+                                     engine="compiled"))
+
+        second = _engine(tmp_path, engine_keyed_cache=True)
+        second.run_request(JobRequest(workload, "baseline",
+                                      engine="interp"))
+        assert second.cache_hits == 0
+        assert second.executed_jobs == 1
+        # both engines' results are now stored, under distinct keys
+        assert len(second.cache) == 2
+
+    def test_disk_keys_differ_only_by_engine(self):
+        engine = ExperimentEngine(engine_keyed_cache=True)
+        workload = get("197parser")
+        compiled = engine._payload(JobRequest(workload, "baseline",
+                                              engine="compiled"))
+        interp = engine._payload(JobRequest(workload, "baseline",
+                                            engine="interp"))
+        assert engine._disk_key(compiled) != engine._disk_key(interp)
+        # the engine-agnostic key ignores the engine field entirely
+        assert job_key(compiled) == job_key(interp)
+
+    def test_fingerprint_is_engine_qualified_and_mode_independent(self):
+        """Campaign sharding hashes the fingerprint; it must not depend
+        on the local engine's cache mode or vm_engine default."""
+        workload = get("197parser")
+        request = JobRequest(workload, "softbound", engine="interp")
+        keyed = ExperimentEngine(engine_keyed_cache=True)
+        agnostic = ExperimentEngine(vm_engine="compiled")
+        assert keyed.fingerprint(request) == agnostic.fingerprint(request)
+        other = JobRequest(workload, "softbound", engine="compiled")
+        assert keyed.fingerprint(request) != keyed.fingerprint(other)
