@@ -1,0 +1,479 @@
+"""Induction-variable and monotone-pointer analysis for counted loops.
+
+The check-hoisting filter (``-mi-opt-hoist``) replaces the
+per-iteration dereference checks of a loop with one widened check in
+the preheader.  Everything it needs to know about the loop is derived
+here:
+
+* :func:`analyze_counted_loop` recognizes *counted loops*: a natural
+  loop with a unique preheader, a single latch, whose only exit is the
+  header's conditional branch on ``iv <cmp> bound``, where ``iv`` is a
+  header phi advancing by a positive constant step from a constant
+  initial value.  The recognizer also demands that every non-header
+  block branches back into the loop (no breaks), that the body
+  contains no may-abort calls, and that every nested subloop provably
+  *terminates* (:func:`_loop_terminates`) -- these conditions make
+  the trip count exact and guarantee that once the loop is entered,
+  *every* iteration's checks execute.  (A check hoisted out of a
+  qualifying outer loop must additionally live in the outer loop
+  *proper* -- not inside a subloop, whose own trip count may be zero
+  -- which is the caller's obligation, keyed on ``loop_of``.)
+
+* :func:`affine_pointer` decomposes a checked pointer into
+  ``root + slope*iv + intercept`` (bytes) by walking its GEP/bitcast
+  chain through the typed layout, where ``root`` is loop-invariant and
+  available in the preheader.  Index expressions may use the IV,
+  constants, ``add``/``sub``/``mul``/``shl`` with constant operands
+  and value-preserving ``sext``/``zext`` casts; ``trunc`` is rejected
+  (a truncated index can wrap back *into* bounds, which would break
+  the extremes argument below).
+
+Why a single widened check is exact (the *extremes argument*): the
+addresses a group of affine checks accesses over iterations
+``init..last`` form a set whose minimum and maximum are attained at
+the first or last iteration (monotonicity in ``iv``).  Allocations are
+contiguous, so the convex hull ``[min, max+width)`` lies inside the
+witness allocation iff both extreme accesses do, iff every access
+does.  The widened check over the hull therefore passes exactly when
+all the per-iteration checks it replaces would have passed.
+
+The trip count must be the *dynamic* one: the hull's upper end uses
+the last IV value computed at run time from the loop bound (the
+filter synthesizes that arithmetic in the preheader); a static
+over-approximation could widen the hull beyond what the program
+actually accesses and abort a valid run.  For the same reason the
+recognizer requires a static proof that the loop runs at least once
+(``init < bound`` at the preheader): for a zero-trip loop the "first
+access" does not exist, so there is nothing sound to check.
+
+The same decomposition yields *static safety verdicts*: when the loop
+bound is a compile-time constant and the range analysis knows the
+witness allocation of ``root``, the whole accessed extent is static,
+and comparing it against the allocation size proves every iteration
+safe -- or proves the loop *will* violate (the hull's endpoints are
+genuinely accessed), which ``repro lint`` reports as ``proven-oob``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..ir.instructions import (
+    BinOp,
+    Call,
+    Cast,
+    CondBr,
+    GEP,
+    ICmp,
+    Instruction,
+    Phi,
+)
+from ..ir.module import BasicBlock
+from ..ir.types import ArrayType, PointerType, StructType, size_of, struct_field_offset
+from ..ir.values import ConstantInt, Value
+from .dominators import DominatorTree
+from .loops import Loop
+from .ranges import FunctionRangeAnalysis
+
+#: Predicates the recognizer accepts for the continue-branch compare,
+#: after normalization (IV on the left, "stay in the loop" when true).
+_CONTINUE_PREDICATES = ("slt", "sle", "ne")
+
+_SWAPPED = {"slt": "sgt", "sle": "sge", "sgt": "slt", "sge": "sle",
+            "ult": "ugt", "ule": "uge", "ugt": "ult", "uge": "ule",
+            "eq": "eq", "ne": "ne"}
+_NEGATED = {"slt": "sge", "sle": "sgt", "sgt": "sle", "sge": "slt",
+            "ult": "uge", "ule": "ugt", "ugt": "ule", "uge": "ult",
+            "eq": "ne", "ne": "eq"}
+
+
+def _may_abort_call(inst: Instruction) -> bool:
+    """A call that may terminate the program (or not return): if one
+    runs between two iterations, later iterations' checks may never
+    execute, so hoisting them to the preheader would be unsound."""
+    if not isinstance(inst, Call):
+        return False
+    callee = inst.callee_function
+    if callee is None:
+        return True  # indirect call: anything can happen
+    return (
+        "may_abort" in callee.attributes
+        or "noreturn" in callee.attributes
+        or not ("readnone" in callee.attributes
+                or "readonly" in callee.attributes)
+    )
+
+
+@dataclass
+class CountedLoop:
+    """A loop with a recognized IV and an exact, exit-free trip count."""
+
+    loop: Loop
+    preheader: BasicBlock
+    latch: BasicBlock
+    iv: Phi
+    init: int                 # constant initial IV value
+    step: int                 # positive constant increment per iteration
+    predicate: str            # normalized continue predicate: slt/sle/ne
+    bound: Value              # loop-invariant compare bound
+    #: Last IV value when the bound is itself a constant, else None
+    #: (the filter then synthesizes the computation at run time).
+    static_last: Optional[int] = None
+
+    def static_trip_count(self) -> Optional[int]:
+        if self.static_last is None:
+            return None
+        return (self.static_last - self.init) // self.step + 1
+
+
+def _peel_condition(cond: Value, taken: bool) -> Tuple[Value, bool]:
+    """Strip ``icmp ne/eq (zext i1 (icmp ...)), 0`` wrappers (the
+    frontend's truthiness pattern), tracking branch polarity."""
+    while isinstance(cond, ICmp) and cond.predicate in ("ne", "eq"):
+        rhs = cond.rhs
+        inner = cond.lhs
+        if not (isinstance(rhs, ConstantInt) and rhs.value == 0):
+            break
+        if isinstance(inner, Cast) and inner.opcode == "zext":
+            inner = inner.value
+        if isinstance(inner, ICmp) and inner.type.bits == 1 \
+                and inner is not cond:
+            if cond.predicate == "eq":
+                taken = not taken
+            cond = inner
+            continue
+        break
+    return cond, taken
+
+
+def available_outside(value: Value, point: Instruction,
+                      domtree: DominatorTree) -> bool:
+    """True when ``value`` is defined at ``point`` (the preheader
+    terminator): non-instructions are available everywhere, and an
+    instruction qualifies iff its definition dominates the point --
+    loop invariance alone is *not* enough (a value defined on only one
+    path before the loop is invariant but unavailable)."""
+    if not isinstance(value, Instruction):
+        return True
+    return domtree.dominates(value, point)
+
+
+def _loop_terminates(loop: Loop, domtree: DominatorTree) -> bool:
+    """Prove ``loop`` always terminates: its only exit is the header's
+    conditional branch on an IV that advances by a positive constant
+    step toward a loop-invariant bound, and every subloop terminates
+    too.  Unlike the full counted-loop recognition this needs no
+    constant init and no minimum-trip proof -- a zero-trip subloop
+    still lets the enclosing loop finish its iteration."""
+    if not all(_loop_terminates(sub, domtree) for sub in loop.subloops):
+        return False
+    if len(loop.latches) != 1:
+        return False
+    latch = loop.latches[0]
+    header = loop.header
+    term = header.terminator
+    if not isinstance(term, CondBr):
+        return False
+    in_true = term.true_block in loop.blocks
+    in_false = term.false_block in loop.blocks
+    if in_true == in_false:
+        return False
+    for block in loop.block_order:
+        if block is header:
+            continue
+        if any(succ not in loop.blocks for succ in block.successors):
+            return False
+    cond, taken = _peel_condition(term.condition, in_true)
+    if not isinstance(cond, ICmp):
+        return False
+    for phi in header.phis():
+        if len(phi.incoming_blocks) != 2:
+            continue
+        if phi is not cond.lhs and phi is not cond.rhs:
+            continue
+        try:
+            next_v = phi.incoming_value_for(latch)
+        except KeyError:
+            continue
+        if not (isinstance(next_v, BinOp) and next_v.opcode == "add"):
+            continue
+        if next_v.lhs is phi and isinstance(next_v.rhs, ConstantInt):
+            step = next_v.rhs.signed_value
+        elif next_v.rhs is phi and isinstance(next_v.lhs, ConstantInt):
+            step = next_v.lhs.signed_value
+        else:
+            continue
+        if step <= 0:
+            continue
+        predicate = cond.predicate
+        bound = cond.rhs if cond.lhs is phi else cond.lhs
+        if cond.rhs is phi:
+            predicate = _SWAPPED[predicate]
+        if not taken:
+            predicate = _NEGATED[predicate]
+        if predicate not in _CONTINUE_PREDICATES:
+            continue
+        if predicate == "ne" and step != 1:
+            continue
+        if isinstance(bound, Instruction) and isinstance(
+                bound.parent, BasicBlock) and bound.parent in loop.blocks:
+            continue  # bound varies inside the loop
+        return True
+    return False
+
+
+def analyze_counted_loop(
+    loop: Loop,
+    domtree: DominatorTree,
+    analysis: FunctionRangeAnalysis,
+) -> Optional[CountedLoop]:
+    """Recognize ``loop`` as a counted loop, or return None.
+
+    A nested loop is acceptable only when it provably terminates: an
+    unbounded subloop could keep the outer loop from ever reaching the
+    iterations a hoisted check already covered.
+    """
+    if not all(_loop_terminates(sub, domtree) for sub in loop.subloops):
+        return None
+    preheader = loop.preheader()
+    if preheader is None:
+        return None
+    if len(loop.latches) != 1:
+        return None
+    latch = loop.latches[0]
+    header = loop.header
+
+    term = header.terminator
+    if not isinstance(term, CondBr):
+        return None
+    in_true = term.true_block in loop.blocks
+    in_false = term.false_block in loop.blocks
+    if in_true == in_false:
+        return None  # both arms inside (no exit) or both outside
+    # Every other block stays strictly inside the loop: the header's
+    # compare is the only exit, so the trip count is exact.
+    for block in loop.block_order:
+        if block is header:
+            continue
+        if any(succ not in loop.blocks for succ in block.successors):
+            return None
+    for block in loop.block_order:
+        for inst in block.instructions:
+            if _may_abort_call(inst):
+                return None
+
+    cond, taken = _peel_condition(term.condition, in_true)
+    if not isinstance(cond, ICmp):
+        return None
+
+    # Find the IV among the header phis: two incomings (preheader,
+    # latch), constant init, latch value ``add iv, +step``.
+    candidate: Optional[Tuple[Phi, int, int]] = None
+    for phi in header.phis():
+        if len(phi.incoming_blocks) != 2:
+            continue
+        if phi is not cond.lhs and phi is not cond.rhs:
+            continue
+        try:
+            init_v = phi.incoming_value_for(preheader)
+            next_v = phi.incoming_value_for(latch)
+        except KeyError:
+            continue
+        if not isinstance(init_v, ConstantInt):
+            continue
+        if not (isinstance(next_v, BinOp) and next_v.opcode == "add"):
+            continue
+        if next_v.lhs is phi and isinstance(next_v.rhs, ConstantInt):
+            step = next_v.rhs.signed_value
+        elif next_v.rhs is phi and isinstance(next_v.lhs, ConstantInt):
+            step = next_v.lhs.signed_value
+        else:
+            continue
+        if step <= 0:
+            continue
+        if not (isinstance(next_v.parent, BasicBlock)
+                and next_v.parent in loop.blocks):
+            continue
+        candidate = (phi, init_v.signed_value, step)
+        break
+    if candidate is None:
+        return None
+    iv, init, step = candidate
+
+    predicate = cond.predicate
+    bound = cond.rhs
+    if cond.rhs is iv:
+        predicate = _SWAPPED[predicate]
+        bound = cond.lhs
+    elif cond.lhs is not iv:
+        return None
+    if not taken:
+        predicate = _NEGATED[predicate]
+    if predicate not in _CONTINUE_PREDICATES:
+        return None
+    if predicate == "ne" and step != 1:
+        return None  # step could jump over the bound: unbounded loop
+    if not available_outside(bound, preheader.terminator, domtree):
+        return None
+
+    # Prove the loop runs at least once: ``init < bound`` (``<=`` for
+    # sle) must hold on every execution reaching the preheader.  The
+    # range fact at the preheader terminator incorporates any guard
+    # branches (``if (n > 0)``) on the way in.
+    if isinstance(bound, ConstantInt):
+        bound_lo = bound_hi = bound.signed_value
+    else:
+        bound_range = analysis.int_range_before(preheader.terminator, bound)
+        if bound_range is None:
+            return None
+        bound_lo, bound_hi = bound_range.lo, bound_range.hi
+    if predicate == "sle":
+        if init > bound_lo:
+            return None
+    elif init >= bound_lo:
+        return None
+
+    static_last: Optional[int] = None
+    if isinstance(bound, ConstantInt):
+        b = bound.signed_value
+        if predicate == "sle":
+            static_last = init + ((b - init) // step) * step
+        else:  # slt / ne
+            static_last = init + ((b - 1 - init) // step) * step
+
+    return CountedLoop(loop=loop, preheader=preheader, latch=latch, iv=iv,
+                       init=init, step=step, predicate=predicate,
+                       bound=bound, static_last=static_last)
+
+
+# ----------------------------------------------------------------------
+# Affine pointer decomposition
+# ----------------------------------------------------------------------
+
+_MAX_DEPTH = 24
+
+
+def _affine_int(value: Value, iv: Optional[Phi],
+                depth: int = 0) -> Optional[Tuple[int, int]]:
+    """``value == a*iv + b`` exactly (over the integers) for every
+    execution on which no intermediate wraps.  Wrapping intermediates
+    throw the access so far outside any allocation that the original
+    per-iteration check (and the widened check, whose extent inherits
+    the same arithmetic) reports anyway -- only ``trunc`` can fold a
+    wrapped value back into bounds, so only ``trunc`` is rejected."""
+    if depth > _MAX_DEPTH:
+        return None
+    if iv is not None and value is iv:
+        return (1, 0)
+    if isinstance(value, ConstantInt):
+        return (0, value.signed_value)
+    if isinstance(value, Cast):
+        if value.opcode in ("sext", "zext"):
+            return _affine_int(value.value, iv, depth + 1)
+        return None
+    if isinstance(value, BinOp):
+        if value.opcode in ("add", "sub"):
+            lhs = _affine_int(value.lhs, iv, depth + 1)
+            rhs = _affine_int(value.rhs, iv, depth + 1)
+            if lhs is None or rhs is None:
+                return None
+            if value.opcode == "add":
+                return (lhs[0] + rhs[0], lhs[1] + rhs[1])
+            return (lhs[0] - rhs[0], lhs[1] - rhs[1])
+        if value.opcode == "mul":
+            lhs = _affine_int(value.lhs, iv, depth + 1)
+            rhs = _affine_int(value.rhs, iv, depth + 1)
+            if lhs is None or rhs is None:
+                return None
+            if lhs[0] == 0:
+                return (lhs[1] * rhs[0], lhs[1] * rhs[1])
+            if rhs[0] == 0:
+                return (lhs[0] * rhs[1], lhs[1] * rhs[1])
+            return None
+        if value.opcode == "shl":
+            lhs = _affine_int(value.lhs, iv, depth + 1)
+            if lhs is None or not isinstance(value.rhs, ConstantInt):
+                return None
+            shift = value.rhs.signed_value
+            if not 0 <= shift < 63:
+                return None
+            return (lhs[0] << shift, lhs[1] << shift)
+    return None
+
+
+@dataclass
+class AffinePointer:
+    """``address == root + slope*iv + intercept`` (bytes)."""
+
+    root: Value
+    slope: int
+    intercept: int
+
+
+def affine_pointer(
+    pointer: Value,
+    iv: Optional[Phi],
+    point: Instruction,
+    domtree: DominatorTree,
+) -> Optional[AffinePointer]:
+    """Decompose a checked pointer into an affine byte offset from a
+    root that is available at ``point`` (the preheader terminator for
+    hoisting; the first run member for block coalescing).  With
+    ``iv=None`` only constant offsets qualify (slope 0)."""
+    slope = 0
+    intercept = 0
+    value = pointer
+    for _ in range(_MAX_DEPTH):
+        if isinstance(value, Cast) and value.opcode == "bitcast":
+            value = value.value
+            continue
+        if isinstance(value, GEP):
+            pointer_ty = value.pointer.type
+            assert isinstance(pointer_ty, PointerType)
+            current = pointer_ty.pointee
+            for position, index in enumerate(value.indices):
+                if position == 0:
+                    scale = size_of(current)
+                elif isinstance(current, ArrayType):
+                    current = current.element
+                    scale = size_of(current)
+                elif isinstance(current, StructType):
+                    if not isinstance(index, ConstantInt):
+                        return None
+                    intercept += struct_field_offset(current, index.value)
+                    current = current.fields[index.value]
+                    continue
+                else:
+                    return None
+                affine = _affine_int(index, iv)
+                if affine is None:
+                    return None
+                slope += scale * affine[0]
+                intercept += scale * affine[1]
+            value = value.pointer
+            continue
+        break
+    else:
+        return None
+    root = value
+    if isinstance(root, (GEP, Cast)):
+        return None  # depth exhausted mid-chain
+    if not available_outside(root, point, domtree):
+        return None
+    return AffinePointer(root=root, slope=slope, intercept=intercept)
+
+
+def extent_bytes(
+    affine: AffinePointer, counted: CountedLoop, width: int
+) -> Optional[Tuple[int, int]]:
+    """Static accessed extent ``[lo, hi)`` relative to the root, when
+    the trip count is static.  Used for the proven-safe /
+    proven-violating loop verdicts."""
+    if counted.static_last is None:
+        return None
+    first = affine.slope * counted.init + affine.intercept
+    last = affine.slope * counted.static_last + affine.intercept
+    lo = min(first, last)
+    hi = max(first, last) + width
+    return (lo, hi)

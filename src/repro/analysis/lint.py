@@ -34,7 +34,7 @@ same separate-compilation setting the instrumentations face.
 from __future__ import annotations
 
 import json as _json
-from dataclasses import asdict, dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 from ..ir.instructions import (
@@ -54,6 +54,8 @@ from ..ir.types import (
     Type,
     size_of,
 )
+from .dominators import DominatorTree
+from .induction import affine_pointer, analyze_counted_loop, extent_bytes
 from .loops import LoopInfo
 from .ranges import (
     FunctionRangeAnalysis,
@@ -79,13 +81,33 @@ class Diagnostic:
     section: str     # paper section, e.g. "4.4"
     location: str    # "unit:function:line 12" (best effort)
     message: str
+    function: str = ""              # enclosing function, "" at unit scope
+    line: Optional[int] = None      # source line, when known
+    loop_depth: int = 0             # loop nesting depth at the finding
+    #: The offending instruction, for the driver to derive ``line`` and
+    #: ``loop_depth`` from; never serialized.
+    inst: Optional[Instruction] = field(
+        default=None, repr=False, compare=False)
+
+    @property
+    def unit(self) -> str:
+        return self.location.split(":", 1)[0]
 
     def format(self) -> str:
         return (f"{self.location}: {self.severity}: {self.message} "
                 f"[{self.code}, paper section {self.section}]")
 
-    def to_dict(self) -> Dict[str, str]:
-        return asdict(self)
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "code": self.code,
+            "severity": self.severity,
+            "section": self.section,
+            "location": self.location,
+            "message": self.message,
+            "function": self.function,
+            "line": self.line,
+            "loop_depth": self.loop_depth,
+        }
 
 
 def _location(unit: str, fn: Optional[Function],
@@ -148,6 +170,7 @@ def _lint_inttoptr(fn: Function, unit: str) -> List[Diagnostic]:
         severity="warning",
         section="4.4",
         location=_location(unit, fn, casts[0]),
+        inst=casts[0],
         message=(f"{count} pointer{plural} materialized from integers "
                  "(inttoptr); SoftBound's metadata trie cannot track "
                  "pointers that travel through integers -- expect stale "
@@ -209,6 +232,7 @@ def _lint_bytewise_copies(fn: Function, unit: str) -> List[Diagnostic]:
             severity="warning",
             section="4.5",
             location=_location(unit, fn, hit),
+            inst=hit,
             message=("pointer-typed memory is copied at byte "
                      "granularity in a loop; the metadata trie cannot "
                      "follow partial-pointer writes -- use memcpy (the "
@@ -249,6 +273,7 @@ def _lint_ranges(fn: Function, unit: str,
                         severity="warning",
                         section="4.2",
                         location=_location(unit, fn, inst),
+                        inst=inst,
                         message=(
                             "pointer arithmetic provably leaves the "
                             f"allocation (offset {shifted.offset.lo}.."
@@ -270,6 +295,7 @@ def _lint_ranges(fn: Function, unit: str,
                         severity="error",
                         section="4.2",
                         location=_location(unit, fn, inst),
+                        inst=inst,
                         message=(
                             f"{width}-byte access provably out of "
                             f"bounds (offset {fact.offset.lo}.."
@@ -277,6 +303,74 @@ def _lint_ranges(fn: Function, unit: str,
                             "every instrumentation check here will "
                             "fire"),
                     ))
+    return out
+
+
+def _lint_proven_oob_loops(fn: Function, unit: str,
+                           summaries: ReturnSummaries) -> List[Diagnostic]:
+    """Loop accesses whose *extent* is provably out of bounds
+    (Section 4.2, loop form).
+
+    Per-point range facts cannot flag the classic ``i <= N`` off-by-one:
+    only the final iteration violates, so no single program point is a
+    must-violation.  The induction analysis can: for a counted loop with
+    a static trip count, an affine access's byte hull is static, and a
+    hull endpoint outside the witness allocation is an access some
+    iteration *definitely* performs."""
+    domtree = DominatorTree(fn)
+    loopinfo = LoopInfo(fn, domtree)
+    if not loopinfo.loops:
+        return []
+    analysis = FunctionRangeAnalysis(fn, summaries)
+    out: List[Diagnostic] = []
+    for loop in loopinfo.all_loops():
+        counted = analyze_counted_loop(loop, domtree, analysis)
+        if counted is None or counted.static_last is None:
+            continue
+        for block in loop.block_order:
+            # Subloop blocks may run zero times per iteration, so a
+            # hull endpoint there is not necessarily accessed.
+            if loopinfo.loop_of(block) is not loop:
+                continue
+            if not domtree.dominates_block(block, counted.latch):
+                continue
+            for inst in block.instructions:
+                if not isinstance(inst, (Load, Store)):
+                    continue
+                width = size_of(inst.type if isinstance(inst, Load)
+                                else inst.value.type)
+                fact = analysis.pointer_fact_before(inst, inst.pointer)
+                if fact is not None and fact.proves_out_of_bounds(width):
+                    continue  # already an ``oob-access`` finding
+                aff = affine_pointer(inst.pointer, counted.iv,
+                                     counted.preheader.terminator, domtree)
+                if aff is None:
+                    continue
+                extent = extent_bytes(aff, counted, width)
+                if extent is None:
+                    continue
+                root_fact = analysis.pointer_fact_before(
+                    counted.preheader.terminator, aff.root)
+                if root_fact is None or root_fact.size is None:
+                    continue
+                lo, hi = extent
+                off = root_fact.offset
+                if off.lo + hi <= root_fact.size and off.hi + lo >= 0:
+                    continue
+                trips = counted.static_trip_count()
+                out.append(Diagnostic(
+                    code="proven-oob",
+                    severity="error",
+                    section="4.2",
+                    location=_location(unit, fn, inst),
+                    inst=inst,
+                    message=(
+                        f"loop provably accesses bytes {lo}..{hi} of a "
+                        f"{root_fact.size}-byte allocation over "
+                        f"{trips} iterations; some iteration's "
+                        f"{width}-byte access is out of bounds and "
+                        "every instrumentation aborts here"),
+                ))
     return out
 
 
@@ -293,6 +387,7 @@ def _lint_huge_allocations(fn: Function, unit: str) -> List[Diagnostic]:
             severity="warning",
             section="4.6",
             location=_location(unit, fn, inst),
+            inst=inst,
             message=(f"allocation of {size} bytes exceeds Low-Fat's "
                      "largest region class (max protected size "
                      f"{LOWFAT_MAX_PROTECTED} bytes); the object falls "
@@ -309,20 +404,47 @@ def _lint_huge_allocations(fn: Function, unit: str) -> List[Diagnostic]:
 _SEVERITY_ORDER = {name: i for i, name in enumerate(SEVERITIES)}
 
 
+def _sort_key(d: Diagnostic):
+    """Stable report order: source order -- ``(unit, line)`` -- with
+    severity and code breaking ties; unit-scope findings first."""
+    return (
+        d.unit,
+        d.line if d.line is not None else -1,
+        _SEVERITY_ORDER.get(d.severity, 99),
+        d.code,
+    )
+
+
 def lint_module(module: Module, unit: Optional[str] = None) -> List[Diagnostic]:
-    """Run every detector over one (un-instrumented) module."""
+    """Run every detector over one (un-instrumented) module.
+
+    Findings come back stably sorted by ``(unit, line)`` -- source
+    order, the order editors and diff tools want -- with severity and
+    code only breaking ties.  Unit-scope findings (no line) sort before
+    the unit's line-anchored ones."""
     unit = unit or module.name
     diagnostics = _lint_sizeless_globals(module, unit)
     summaries = ReturnSummaries(module)
     for fn in module.functions.values():
         if fn.native or fn.is_declaration:
             continue
-        diagnostics.extend(_lint_inttoptr(fn, unit))
-        diagnostics.extend(_lint_bytewise_copies(fn, unit))
-        diagnostics.extend(_lint_ranges(fn, unit, summaries))
-        diagnostics.extend(_lint_huge_allocations(fn, unit))
-    diagnostics.sort(key=lambda d: (_SEVERITY_ORDER.get(d.severity, 99),
-                                    d.location, d.code))
+        found = (
+            _lint_inttoptr(fn, unit)
+            + _lint_bytewise_copies(fn, unit)
+            + _lint_ranges(fn, unit, summaries)
+            + _lint_proven_oob_loops(fn, unit, summaries)
+            + _lint_huge_allocations(fn, unit)
+        )
+        if found:
+            loops = LoopInfo(fn)
+            for diag in found:
+                diag.function = fn.name
+                if diag.inst is not None:
+                    diag.line = diag.inst.meta.get("line")
+                    if diag.inst.parent is not None:
+                        diag.loop_depth = loops.loop_depth(diag.inst.parent)
+        diagnostics.extend(found)
+    diagnostics.sort(key=_sort_key)
     return diagnostics
 
 
@@ -353,6 +475,7 @@ def lint_sources(
         SimplifyCFG().run(module)
         Mem2Reg().run(module)
         diagnostics.extend(lint_module(module, name))
+    diagnostics.sort(key=_sort_key)
     return diagnostics
 
 

@@ -33,9 +33,10 @@ from ..experiments.runner import JobRequest
 from ..workloads import Workload
 
 #: Check-filter selections an instance may request.  ``ranges`` is
-#: composed after ``dominance`` throughout the repo, but the model does
-#: not force the pairing -- each filter is an independent axis value.
-KNOWN_FILTERS = ("dominance", "ranges")
+#: composed after ``dominance`` and ``hoist`` after both throughout
+#: the repo, but the model does not force the pairing -- each filter is
+#: an independent axis value.
+KNOWN_FILTERS = ("dominance", "ranges", "hoist")
 
 #: Named filter-axis shorthands used by spec files (and by the
 #: experiment harness's label scheme).
@@ -43,6 +44,7 @@ FILTER_SETS: Dict[str, Tuple[str, ...]] = {
     "unopt": (),
     "dominance": ("dominance",),
     "ranges": ("dominance", "ranges"),
+    "hoist": ("dominance", "ranges", "hoist"),
 }
 
 _ENGINES = ("compiled", "interp")
@@ -119,6 +121,8 @@ class Instance:
             pass
         elif self.filters == ("dominance", "ranges"):
             parts.append("ranges")
+        elif self.filters == ("dominance", "ranges", "hoist"):
+            parts.append("hoist")
         else:
             parts.extend(self.filters)
         if self.config_overrides:
@@ -144,6 +148,7 @@ class Instance:
             mode=self.mode,
             opt_dominance="dominance" in self.filters,
             opt_ranges="ranges" in self.filters,
+            opt_hoist="hoist" in self.filters,
         )
         if self.config_overrides:
             base = replace(base, **self.config_overrides)
@@ -178,6 +183,8 @@ class Instance:
             filters, mode = FILTER_SETS["unopt"], "full"
         elif variant == "ranges":
             filters, mode = FILTER_SETS["ranges"], "full"
+        elif variant == "hoist":
+            filters, mode = FILTER_SETS["hoist"], "full"
         elif variant == "meta":
             filters, mode = FILTER_SETS["unopt"], "geninvariants"
         else:

@@ -315,6 +315,9 @@ def _run_profile(args, config: InstrumentationConfig) -> int:
         extension_point=args.extension_point,
         link_time_optimization=not args.no_lto,
         verify=args.verify,
+        # The profile report joins dynamic per-site counts against the
+        # static safety verdicts whatever the profiled configuration.
+        collect_verdicts=True,
     )
     if len(args.targets) == 1 and args.targets[0] in all_names():
         workload = get(args.targets[0])

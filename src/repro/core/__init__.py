@@ -1,7 +1,12 @@
 """MemInstrument core: the instrumentation framework (paper Section 3)."""
 
 from .config import InstrumentationConfig
-from .filters import dominance_filter, range_filter
+from .filters import (
+    check_verdicts,
+    dominance_filter,
+    hoist_filter,
+    range_filter,
+)
 from .gather import gather_function_targets
 from .instrument import (
     InstrumenterHandle,
@@ -33,9 +38,11 @@ __all__ = [
     "SoftBoundMechanism",
     "TargetKind",
     "TargetStatistics",
+    "check_verdicts",
     "create_mechanism",
     "dominance_filter",
     "gather_function_targets",
+    "hoist_filter",
     "get_mechanism",
     "install_runtime",
     "mechanism_names",

@@ -12,6 +12,9 @@ artifact appendix (Section A.6):
 * ``-mi-opt-ranges`` -> ``opt_ranges`` (range-analysis based check
   elimination; a reproduction extension beyond the paper's artifact,
   composed after the dominance filter)
+* ``-mi-opt-hoist`` -> ``opt_hoist`` (loop-aware check hoisting and
+  block-level coalescing; a reproduction extension composed after the
+  dominance and range filters)
 * ``-mi-sb-size-zero-wide-upper`` -> wide upper bounds for size-less
   extern array declarations (Section 4.3)
 * ``-mi-sb-inttoptr-wide-bounds`` -> wide bounds for integer-to-pointer
@@ -52,6 +55,7 @@ class InstrumentationConfig:
     mode: str = "full"
     opt_dominance: bool = False
     opt_ranges: bool = False
+    opt_hoist: bool = False
     sb_size_zero_wide_upper: bool = True
     sb_inttoptr_wide_bounds: bool = True
     sb_missing_metadata_wide: bool = False
@@ -116,6 +120,8 @@ class InstrumentationConfig:
                 kwargs["opt_dominance"] = True
             elif flag == "-mi-opt-ranges":
                 kwargs["opt_ranges"] = True
+            elif flag == "-mi-opt-hoist":
+                kwargs["opt_hoist"] = True
             elif flag == "-mi-policy-ignore-inline-asm":
                 kwargs["policy_ignore_inline_asm"] = True
             elif not handle_mechanism_flag(flag, kwargs):

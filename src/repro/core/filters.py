@@ -21,8 +21,20 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from ..analysis.dominators import DominatorTree
+from ..analysis.induction import (
+    AffinePointer,
+    CountedLoop,
+    affine_pointer,
+    analyze_counted_loop,
+    extent_bytes,
+    _may_abort_call,
+)
+from ..analysis.loops import LoopInfo
 from ..analysis.ranges import FunctionRangeAnalysis, ReturnSummaries
-from ..ir.module import Function
+from ..ir.instructions import Instruction
+from ..ir.module import BasicBlock, Function
+from ..ir.types import I8, I64, PointerType
+from ..ir.values import Value
 from .itarget import ITarget, TargetKind
 
 
@@ -68,6 +80,7 @@ def range_filter(
     fn: Function,
     targets: List[ITarget],
     summaries: Optional[ReturnSummaries] = None,
+    analysis: Optional[FunctionRangeAnalysis] = None,
 ) -> Tuple[List[ITarget], int]:
     """Drop dereference checks the range analysis proves in bounds.
 
@@ -99,7 +112,8 @@ def range_filter(
     """
     if not any(t.kind == TargetKind.CHECK_DEREF for t in targets):
         return targets, 0
-    analysis = FunctionRangeAnalysis(fn, summaries)
+    if analysis is None:
+        analysis = FunctionRangeAnalysis(fn, summaries)
     removed = set()
     for target in targets:
         if target.kind != TargetKind.CHECK_DEREF or target.pointer is None:
@@ -112,3 +126,340 @@ def range_filter(
         return targets, 0
     filtered = [t for t in targets if id(t) not in removed]
     return filtered, len(removed)
+
+
+# ----------------------------------------------------------------------
+# Loop-aware hoisting and block coalescing (``-mi-opt-hoist``)
+# ----------------------------------------------------------------------
+
+
+def _synthesize_check(
+    fn: Function,
+    anchor: Instruction,
+    root: Value,
+    lo,                      # int or i64 Value: start byte offset
+    extent,                  # int or i64 Value: covered bytes
+    width: int,
+    site: str,
+) -> ITarget:
+    """Materialize the widened check's operands right before ``anchor``
+    and return the replacement ITarget.
+
+    The pointer is built as ``gep i8* (bitcast root), lo`` rather than
+    through ``ptrtoint`` arithmetic: both mechanisms resolve a check's
+    witness by stripping GEP/bitcast chains, so the synthesized check
+    inherits the *root's* witness (exactly the allocation the original
+    per-iteration checks were checked against).  Every instruction is
+    tagged ``meta["mi"]`` so re-gathering skips it and the profiler
+    attributes its cycles to instrumentation.
+    """
+    from .mechanism import MarkingBuilder
+
+    builder = MarkingBuilder(fn)
+    builder.position_before(anchor)
+    base = builder.bitcast(root, PointerType(I8))
+    index = builder.const_i64(lo) if isinstance(lo, int) else lo
+    pointer = builder.gep(base, [index])
+    width_value = None if isinstance(extent, int) else extent
+    return ITarget(
+        kind=TargetKind.CHECK_DEREF,
+        instruction=anchor,
+        pointer=pointer,
+        width=extent if isinstance(extent, int) else width,
+        site=site,
+        width_value=width_value,
+    )
+
+
+def _hoist_loop_groups(
+    fn: Function,
+    counted: CountedLoop,
+    members: "Dict[Tuple[int, int], Tuple[Value, List[Tuple[ITarget, AffinePointer]]]]",
+    site_counter: List[int],
+) -> Tuple[List[ITarget], set]:
+    """Synthesize one widened preheader check per (root, slope) group
+    and report the replaced member targets."""
+    from .mechanism import MarkingBuilder
+
+    preheader = counted.preheader
+    anchor = preheader.terminator
+    builder = MarkingBuilder(fn)
+    synthesized: List[ITarget] = []
+    removed: set = set()
+    last_value = None  # lazily computed runtime last-IV (i64)
+
+    def runtime_last() -> Value:
+        # last = init + floor((bound' - init) / step) * step, where
+        # bound' is bound-1 for slt/ne and bound for sle.  The >=1
+        # iteration proof makes the numerator non-negative, so sdiv
+        # is the floor division the formula needs.
+        nonlocal last_value
+        if last_value is not None:
+            return last_value
+        builder.position_before(anchor)
+        bound = counted.bound
+        b64 = bound if bound.type == I64 else builder.sext(bound, I64)
+        upper = b64 if counted.predicate == "sle" else \
+            builder.sub(b64, builder.const_i64(1))
+        if counted.step == 1:
+            last_value = upper
+        else:
+            span = builder.sub(upper, builder.const_i64(counted.init))
+            trips = builder.binop("sdiv", span,
+                                  builder.const_i64(counted.step))
+            stepped = builder.mul(trips, builder.const_i64(counted.step))
+            last_value = builder.add(stepped, builder.const_i64(counted.init))
+        return last_value
+
+    for (_, slope), (root, group) in members.items():
+        min_b = min(aff.intercept for _, aff in group)
+        max_end = max(aff.intercept + t.width for t, aff in group)
+        max_width = max(t.width for t, _ in group)
+        site_counter[0] += 1
+        site = f"{fn.name}:{preheader.name}:hoist{site_counter[0]}"
+        if slope == 0:
+            lo, extent = min_b, max_end - min_b
+        elif counted.static_last is not None:
+            first = slope * counted.init
+            last = slope * counted.static_last
+            lo = min(first, last) + min_b
+            extent = max(first, last) + max_end - lo
+        else:
+            builder.position_before(anchor)
+            scaled = builder.mul(runtime_last(),
+                                 builder.const_i64(slope))
+            if slope > 0:
+                lo = slope * counted.init + min_b
+                hi = builder.add(scaled, builder.const_i64(max_end))
+                extent = builder.sub(hi, builder.const_i64(lo))
+            else:
+                lo = builder.add(scaled, builder.const_i64(min_b))
+                hi = slope * counted.init + max_end
+                extent = builder.sub(builder.const_i64(hi), lo)
+        synthesized.append(_synthesize_check(
+            fn, anchor, root, lo, extent, max_width, site))
+        removed.update(id(t) for t, _ in group)
+    return synthesized, removed
+
+
+def hoist_filter(
+    fn: Function,
+    targets: List[ITarget],
+    summaries: Optional[ReturnSummaries] = None,
+    analysis: Optional[FunctionRangeAnalysis] = None,
+) -> Tuple[List[ITarget], int, int, int]:
+    """Hoist per-iteration loop checks into one widened preheader
+    check, then coalesce same-root constant-offset check runs within
+    blocks.  Returns ``(targets, hoisted, coalesced, synthesized)``.
+
+    Legality and exactness (the full argument lives in
+    :mod:`repro.analysis.induction` and DESIGN.md section 3h):
+
+    * only *counted* loops qualify (exact trip count, header-only
+      exit, no may-abort calls, proven to run at least once), and only
+      checks whose block dominates the latch (they execute on every
+      iteration);
+    * the widened check's extent is computed from the *dynamic* trip
+      count -- synthesized i64 arithmetic on the loop bound -- so the
+      checked interval is exactly the hull of the accessed bytes;
+    * allocations are contiguous, so the hull is in bounds iff the
+      extreme accesses are, iff every replaced check would have
+      passed: abort-free executions are bit-identical, and a widened
+      check that aborts corresponds to some original check aborting
+      (possibly later, mid-loop -- the one observable difference,
+      which only violating programs can see);
+    * a coalesced block run's members sit between no may-abort calls,
+      so whenever the run's first member executes, all members do.
+    """
+    checks = [
+        t for t in targets
+        if t.kind == TargetKind.CHECK_DEREF and t.pointer is not None
+    ]
+    if not checks:
+        return targets, 0, 0, 0
+    domtree = DominatorTree(fn)
+    loopinfo = LoopInfo(fn, domtree)
+    if analysis is None:
+        analysis = FunctionRangeAnalysis(fn, summaries)
+
+    site_counter = [0]
+    removed: set = set()
+    synthesized: List[ITarget] = []
+    hoisted = 0
+
+    # -- stage 1: loop hoisting ---------------------------------------
+    loops = sorted(loopinfo.all_loops(),
+                   key=lambda l: domtree._rpo_index.get(l.header, 0))
+    for loop in loops:
+        counted = analyze_counted_loop(loop, domtree, analysis)
+        if counted is None:
+            continue
+        groups: Dict[Tuple[int, int],
+                     Tuple[Value, List[Tuple[ITarget, AffinePointer]]]] = {}
+        for target in checks:
+            if id(target) in removed:
+                continue
+            block = target.instruction.parent
+            # The check must live in this loop *proper*: a subloop
+            # member runs a subloop-trip-count (possibly zero) number
+            # of times per iteration, so "once per iteration" fails.
+            if loopinfo.loop_of(block) is not loop:
+                continue
+            if not domtree.dominates_block(block, counted.latch):
+                continue
+            aff = affine_pointer(target.pointer, counted.iv,
+                                 counted.preheader.terminator, domtree)
+            if aff is None:
+                continue
+            key = (id(aff.root), aff.slope)
+            groups.setdefault(key, (aff.root, []))[1].append((target, aff))
+        if not groups:
+            continue
+        new_checks, replaced = _hoist_loop_groups(
+            fn, counted, groups, site_counter)
+        synthesized.extend(new_checks)
+        removed.update(replaced)
+        hoisted += len(replaced)
+
+    # -- stage 2: block-level run coalescing --------------------------
+    coalesced = 0
+    remaining = [t for t in checks if id(t) not in removed]
+    by_block: Dict[BasicBlock, List[ITarget]] = {}
+    for target in remaining:
+        by_block.setdefault(target.instruction.parent, []).append(target)
+    for block, block_checks in by_block.items():
+        positions = {id(t): block.index_of(t.instruction)
+                     for t in block_checks}
+        block_checks.sort(key=lambda t: positions[id(t)])
+        barriers = [i for i, inst in enumerate(block.instructions)
+                    if _may_abort_call(inst)]
+        run: List[Tuple[ITarget, AffinePointer]] = []
+        run_root_id: Optional[int] = None
+
+        def flush() -> None:
+            nonlocal coalesced, run, run_root_id
+            if len(run) >= 2:
+                first_t, first_aff = run[0]
+                lo = min(aff.intercept for _, aff in run)
+                hi = max(aff.intercept + t.width for t, aff in run)
+                site_counter[0] += 1
+                site = (f"{fn.name}:{block.name}:"
+                        f"coalesce{site_counter[0]}")
+                synthesized.append(_synthesize_check(
+                    fn, first_t.instruction, first_aff.root, lo, hi - lo,
+                    hi - lo, site))
+                removed.update(id(t) for t, _ in run)
+                coalesced += len(run)
+            run = []
+            run_root_id = None
+
+        prev_pos: Optional[int] = None
+        for target in block_checks:
+            pos = positions[id(target)]
+            aff = affine_pointer(target.pointer, None,
+                                 target.instruction, domtree)
+            crossed_barrier = prev_pos is not None and any(
+                prev_pos < b < pos for b in barriers)
+            if aff is None or crossed_barrier or (
+                    run and id(aff.root) != run_root_id):
+                flush()
+            if aff is not None:
+                run.append((target, aff))
+                run_root_id = id(aff.root)
+                prev_pos = pos
+            else:
+                prev_pos = pos
+        flush()
+
+    if not removed:
+        return targets, 0, 0, 0
+    result = [t for t in targets if id(t) not in removed]
+    result.extend(synthesized)
+    return result, hoisted, coalesced, len(synthesized)
+
+
+# ----------------------------------------------------------------------
+# Static safety verdicts
+# ----------------------------------------------------------------------
+
+PROVEN_SAFE = "proven-safe"
+PROVEN_VIOLATING = "proven-violating"
+UNKNOWN = "unknown"
+
+
+def check_verdicts(
+    fn: Function,
+    targets: List[ITarget],
+    summaries: Optional[ReturnSummaries] = None,
+    analysis: Optional[FunctionRangeAnalysis] = None,
+) -> Dict[str, str]:
+    """Per-check-site static safety verdicts over the gathered checks.
+
+    Two proof sources, both sound over every execution that reaches
+    the check:
+
+    * the per-point range/provenance fact of the checked pointer
+      (exactly the range filter's criterion, plus its dual for
+      proven violations);
+    * the loop-extent argument: for a counted loop with a static trip
+      count, the accessed byte hull of an affine check is static, and
+      comparing it against the known witness allocation proves every
+      iteration safe -- or proves the hull's genuinely-accessed
+      endpoint out of bounds (``proven-violating``), which per-point
+      facts cannot (only the *last* iterations violate).
+    """
+    verdicts: Dict[str, str] = {}
+    checks = [
+        t for t in targets
+        if t.kind == TargetKind.CHECK_DEREF and t.pointer is not None
+    ]
+    if not checks:
+        return verdicts
+    if analysis is None:
+        analysis = FunctionRangeAnalysis(fn, summaries)
+    for target in checks:
+        fact = analysis.pointer_fact_before(target.instruction,
+                                            target.pointer)
+        if fact is not None and fact.proves_in_bounds(target.width):
+            verdicts[target.site] = PROVEN_SAFE
+        elif fact is not None and fact.proves_out_of_bounds(target.width):
+            verdicts[target.site] = PROVEN_VIOLATING
+        else:
+            verdicts[target.site] = UNKNOWN
+
+    domtree = DominatorTree(fn)
+    loopinfo = LoopInfo(fn, domtree)
+    for loop in loopinfo.all_loops():
+        counted = analyze_counted_loop(loop, domtree, analysis)
+        if counted is None or counted.static_last is None:
+            continue
+        for target in checks:
+            if verdicts.get(target.site) != UNKNOWN:
+                continue
+            block = target.instruction.parent
+            # Same membership rule as hoisting: the extremes of the
+            # hull are genuinely accessed only if the check runs once
+            # per iteration of *this* loop (not a possibly-zero-trip
+            # subloop).
+            if loopinfo.loop_of(block) is not loop:
+                continue
+            if not domtree.dominates_block(block, counted.latch):
+                continue
+            aff = affine_pointer(target.pointer, counted.iv,
+                                 counted.preheader.terminator, domtree)
+            if aff is None:
+                continue
+            extent = extent_bytes(aff, counted, target.width)
+            if extent is None:
+                continue
+            root_fact = analysis.pointer_fact_before(
+                counted.preheader.terminator, aff.root)
+            if root_fact is None or root_fact.size is None:
+                continue
+            lo, hi = extent
+            off = root_fact.offset
+            if off.lo + lo >= 0 and off.hi + hi <= root_fact.size:
+                verdicts[target.site] = PROVEN_SAFE
+            elif off.lo + hi > root_fact.size or off.hi + lo < 0:
+                verdicts[target.site] = PROVEN_VIOLATING
+    return verdicts

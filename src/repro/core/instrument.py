@@ -19,11 +19,11 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional
 
-from ..analysis.ranges import ReturnSummaries
+from ..analysis.ranges import FunctionRangeAnalysis, ReturnSummaries
 from ..ir.module import Function, Module
 from ..ir.verifier import verify_module
 from .config import InstrumentationConfig
-from .filters import dominance_filter, range_filter
+from .filters import check_verdicts, dominance_filter, hoist_filter, range_filter
 from .gather import gather_function_targets
 from .itarget import CheckSiteInfo, ITarget, TargetStatistics
 from .mechanism import InstrumentationMechanism, create_mechanism
@@ -35,14 +35,24 @@ class MemInstrumentPass:
     After :meth:`run`, ``statistics`` holds the per-module static
     counts (gathered/filtered/emitted targets per kind)."""
 
-    def __init__(self, config: InstrumentationConfig, verify: bool = False):
+    def __init__(self, config: InstrumentationConfig, verify: bool = False,
+                 collect_verdicts: bool = False):
         self.config = config
         self.verify = verify
+        #: Force static-verdict computation even when no range-based
+        #: filter is enabled (``repro profile`` joins verdicts against
+        #: dynamic counts regardless of the profiled configuration).
+        self.collect_verdicts = collect_verdicts
         self.statistics = TargetStatistics()
         self.per_function: Dict[str, TargetStatistics] = {}
         #: site id -> static provenance of the emitted check (joined
         #: with the dynamic per-site counters by ``repro profile``).
         self.check_sites: Dict[str, CheckSiteInfo] = {}
+        #: site id -> static safety verdict ("proven-safe" /
+        #: "proven-violating" / "unknown") over the *gathered* checks,
+        #: populated whenever the range analysis runs; ``repro lint``
+        #: and ``repro profile`` join against it.
+        self.check_verdicts: Dict[str, str] = {}
 
     def run(self, module: Module) -> None:
         mechanism = create_mechanism(self.config)
@@ -51,7 +61,9 @@ class MemInstrumentPass:
         mechanism.prepare_module(module)
         # One summary table serves the whole module: the range filter's
         # interprocedural component memoizes per-callee return ranges.
-        summaries = ReturnSummaries(module) if self.config.opt_ranges else None
+        needs_ranges = (self.config.opt_ranges or self.config.opt_hoist
+                        or self.collect_verdicts)
+        summaries = ReturnSummaries(module) if needs_ranges else None
         for fn in list(module.functions.values()):
             if fn.native or fn.is_declaration:
                 continue
@@ -73,12 +85,28 @@ class MemInstrumentPass:
         stats = TargetStatistics()
         for target in targets:
             stats.count(target)
+        # One range analysis serves the range filter, the hoist
+        # filter's >=1-iteration proofs, and the static verdicts.
+        analysis: Optional[FunctionRangeAnalysis] = None
+        if (self.config.opt_ranges or self.config.opt_hoist
+                or self.collect_verdicts):
+            analysis = FunctionRangeAnalysis(fn, summaries)
+            verdicts = check_verdicts(fn, targets, summaries, analysis)
+            self.check_verdicts.update(verdicts)
+            for verdict in verdicts.values():
+                stats.verdicts[verdict] = stats.verdicts.get(verdict, 0) + 1
         if self.config.opt_dominance:
             targets, removed = dominance_filter(fn, targets)
             stats.filtered_checks = removed
         if self.config.opt_ranges:
-            targets, removed = range_filter(fn, targets, summaries)
+            targets, removed = range_filter(fn, targets, summaries, analysis)
             stats.range_filtered_checks = removed
+        if self.config.opt_hoist and self.config.insert_deref_checks:
+            targets, hoisted, coalesced, synthesized = hoist_filter(
+                fn, targets, summaries, analysis)
+            stats.hoisted_checks = hoisted
+            stats.coalesced_checks = coalesced
+            stats.synthesized_checks = synthesized
         mechanism.instrument_function(fn, targets)
         self.per_function[fn.name] = stats
         self.statistics.merge(stats)
@@ -94,16 +122,18 @@ def instrument_module(
 
 
 def make_instrumenter(
-    config: InstrumentationConfig, verify: bool = False
+    config: InstrumentationConfig, verify: bool = False,
+    collect_verdicts: bool = False,
 ) -> "InstrumenterHandle":
     """An instrumentation callback for
     :func:`repro.opt.pipeline.build_pipeline`'s ``instrument`` hook."""
-    return InstrumenterHandle(config, verify)
+    return InstrumenterHandle(config, verify, collect_verdicts)
 
 
 class InstrumenterHandle:
-    def __init__(self, config: InstrumentationConfig, verify: bool):
-        self.pass_ = MemInstrumentPass(config, verify)
+    def __init__(self, config: InstrumentationConfig, verify: bool,
+                 collect_verdicts: bool = False):
+        self.pass_ = MemInstrumentPass(config, verify, collect_verdicts)
         self.ran = False
 
     def __call__(self, module: Module) -> None:
@@ -121,3 +151,7 @@ class InstrumenterHandle:
     @property
     def check_sites(self) -> Dict[str, CheckSiteInfo]:
         return self.pass_.check_sites
+
+    @property
+    def check_verdicts(self) -> Dict[str, str]:
+        return self.pass_.check_verdicts

@@ -46,6 +46,11 @@ class ITarget:
     pointer: Optional[Value]      # the pointer the task concerns
     width: int = 0                # access width in bytes (checks only)
     site: str = ""                # stable identifier for statistics
+    #: Checks synthesized by the hoist filter cover a *symbolic* number
+    #: of bytes (the loop's accessed extent, an i64 SSA value computed
+    #: in the preheader).  When set, mechanisms pass this value as the
+    #: check's width operand instead of the constant ``width``.
+    width_value: Optional[Value] = None
 
     def is_check(self) -> bool:
         return self.kind == TargetKind.CHECK_DEREF
@@ -98,6 +103,16 @@ class TargetStatistics:
     gathered_invariants: int = 0
     filtered_checks: int = 0
     range_filtered_checks: int = 0
+    #: Checks replaced by a widened preheader check (``-mi-opt-hoist``).
+    hoisted_checks: int = 0
+    #: Checks merged into a block-level run check (``-mi-opt-hoist``).
+    coalesced_checks: int = 0
+    #: Widened checks the hoist filter added (one per loop group / run).
+    synthesized_checks: int = 0
+    #: Per-site static safety verdicts over the gathered checks
+    #: ("proven-safe" / "proven-violating" / "unknown"); populated when
+    #: the range analysis runs (``-mi-opt-ranges`` / ``-mi-opt-hoist``).
+    verdicts: dict = field(default_factory=dict)
     by_kind: dict = field(default_factory=dict)
 
     def count(self, target: ITarget) -> None:
@@ -112,13 +127,19 @@ class TargetStatistics:
         self.gathered_invariants += other.gathered_invariants
         self.filtered_checks += other.filtered_checks
         self.range_filtered_checks += other.range_filtered_checks
+        self.hoisted_checks += other.hoisted_checks
+        self.coalesced_checks += other.coalesced_checks
+        self.synthesized_checks += other.synthesized_checks
+        for verdict, count in other.verdicts.items():
+            self.verdicts[verdict] = self.verdicts.get(verdict, 0) + count
         for kind, count in other.by_kind.items():
             self.by_kind[kind] = self.by_kind.get(kind, 0) + count
 
     @property
     def emitted_checks(self) -> int:
         return (self.gathered_checks - self.filtered_checks
-                - self.range_filtered_checks)
+                - self.range_filtered_checks - self.hoisted_checks
+                - self.coalesced_checks + self.synthesized_checks)
 
     @property
     def filtered_fraction(self) -> float:
@@ -131,3 +152,18 @@ class TargetStatistics:
         if not self.gathered_checks:
             return 0.0
         return self.range_filtered_checks / self.gathered_checks
+
+    @property
+    def hoisted_fraction(self) -> float:
+        if not self.gathered_checks:
+            return 0.0
+        return (self.hoisted_checks + self.coalesced_checks) / self.gathered_checks
+
+    @property
+    def proven_safe_fraction(self) -> float:
+        """Share of gathered checks the range analysis proved safe --
+        the static side of "X% of dynamic checks were provable"."""
+        total = sum(self.verdicts.values())
+        if not total:
+            return 0.0
+        return self.verdicts.get("proven-safe", 0) / total

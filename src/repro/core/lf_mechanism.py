@@ -142,9 +142,12 @@ class LowFatMechanism(InstrumentationMechanism):
         builder = self.marked_builder(self._fn)
         builder.position_before(target.instruction)
         p64 = builder.ptrtoint(target.pointer, I64)
+        # Hoisted checks cover a symbolic extent (the loop's accessed
+        # byte count, computed in the preheader) instead of a constant.
+        width = target.width_value or ConstantInt(I64, target.width)
         check = builder.call(
             self.module.get_function("__lf_check"),
-            [p64, ConstantInt(I64, target.width), base],
+            [p64, width, base],
         )
         check.meta["mi_site"] = target.site
         self._record_site(target, target.pointer, "deref")

@@ -113,9 +113,12 @@ class SoftBoundMechanism(InstrumentationMechanism):
         base, bound = self._witness(target.pointer)
         builder.position_before(target.instruction)
         p64 = builder.ptrtoint(target.pointer, I64)
+        # Hoisted checks cover a symbolic extent (the loop's accessed
+        # byte count, computed in the preheader) instead of a constant.
+        width = target.width_value or ConstantInt(I64, target.width)
         check = builder.call(
             self.module.get_function("__sb_check"),
-            [p64, ConstantInt(I64, target.width), base, bound],
+            [p64, width, base, bound],
         )
         check.meta["mi_site"] = target.site
         source, wide_hint = self._classify_pointer(target.pointer)

@@ -56,6 +56,9 @@ class CompileOptions:
     obfuscate_pointer_copies: Union[bool, Sequence[str]] = False
     link_time_optimization: bool = True
     verify: bool = False
+    #: Compute per-site static safety verdicts even when no
+    #: range-based filter is enabled (used by ``repro profile``).
+    collect_verdicts: bool = False
 
     def obfuscates(self, unit_name: str) -> bool:
         if isinstance(self.obfuscate_pointer_copies, bool):
@@ -73,6 +76,10 @@ class CompiledProgram:
     #: site id -> static provenance of the emitted checks, for the
     #: ``repro profile`` join against RuntimeStats.per_site.
     check_sites: Dict[str, CheckSiteInfo] = field(default_factory=dict)
+    #: site id -> static safety verdict over the gathered checks
+    #: ("proven-safe" / "proven-violating" / "unknown"); populated when
+    #: the range analysis runs (``-mi-opt-ranges`` / ``-mi-opt-hoist``).
+    check_verdicts: Dict[str, str] = field(default_factory=dict)
 
 
 @dataclass
@@ -131,7 +138,9 @@ def compile_program(
             verify_module(module)
         instrumenter: Optional[InstrumenterHandle] = None
         if config.approach != "noop":
-            instrumenter = make_instrumenter(config, verify=options.verify)
+            instrumenter = make_instrumenter(
+                config, verify=options.verify,
+                collect_verdicts=options.collect_verdicts)
         pipeline = build_pipeline(
             opt_level=options.opt_level,
             instrument=instrumenter,
@@ -144,6 +153,7 @@ def compile_program(
             for fname, stats in instrumenter.per_function.items():
                 program.per_function[f"{name}:{fname}"] = stats
             program.check_sites.update(instrumenter.check_sites)
+            program.check_verdicts.update(instrumenter.check_verdicts)
         units.append(module)
 
     linked = Module.link(units, "linked") if len(units) > 1 else units[0]

@@ -33,8 +33,10 @@ from typing import Iterator, Optional
 from .. import __version__
 
 #: Bump when the BenchResult JSON schema changes incompatibly; old
-#: entries then miss instead of deserializing garbage.
-CACHE_FORMAT_VERSION = 2
+#: entries then miss instead of deserializing garbage.  Version 3:
+#: TargetStatistics gained the hoist counters and static verdicts, and
+#: InstrumentationConfig gained ``opt_hoist`` (part of every job key).
+CACHE_FORMAT_VERSION = 3
 
 #: Payload fields that do not influence the measured result: the
 #: reference output is itself a deterministic function of the keyed

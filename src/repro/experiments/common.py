@@ -32,11 +32,15 @@ MAX_INSTRUCTIONS = 50_000_000
 #: "unoptimized" = all gathered checks emitted,
 #: "metadata" = -mi-mode=geninvariants (no dereference checks),
 #: "ranges" = dominance elimination plus the interprocedural
-#: value-range / pointer-provenance filter (-mi-opt-ranges).
+#: value-range / pointer-provenance filter (-mi-opt-ranges),
+#: "hoist" = ranges plus the loop-aware check hoisting / block
+#: coalescing transform (-mi-opt-hoist).
 CONFIG_LABELS = (
     "baseline",
     "softbound", "softbound-unopt", "softbound-meta", "softbound-ranges",
+    "softbound-hoist",
     "lowfat", "lowfat-unopt", "lowfat-meta", "lowfat-ranges",
+    "lowfat-hoist",
 )
 
 
@@ -57,6 +61,9 @@ def config_for(label: str) -> Optional[InstrumentationConfig]:
         return base.with_(mode="geninvariants", opt_dominance=False)
     if variant == "ranges":
         return base.with_(opt_dominance=True, opt_ranges=True)
+    if variant == "hoist":
+        return base.with_(opt_dominance=True, opt_ranges=True,
+                          opt_hoist=True)
     raise ValueError(f"unknown configuration label {label!r}")
 
 
@@ -161,9 +168,13 @@ class BenchResult:
                 gathered_checks=static["gathered_checks"],
                 gathered_invariants=static["gathered_invariants"],
                 filtered_checks=static["filtered_checks"],
-                # .get: cache entries written before the range filter
-                # existed lack the field.
+                # .get: cache entries written before the range/hoist
+                # filters existed lack the fields.
                 range_filtered_checks=static.get("range_filtered_checks", 0),
+                hoisted_checks=static.get("hoisted_checks", 0),
+                coalesced_checks=static.get("coalesced_checks", 0),
+                synthesized_checks=static.get("synthesized_checks", 0),
+                verdicts=dict(static.get("verdicts", {})),
                 by_kind=dict(static["by_kind"]),
             )
         data["output"] = list(data["output"])

@@ -102,8 +102,8 @@ class Matrix:
 
 FULL_MATRIX = Matrix.from_instances("full", standard_instances(
     ("baseline",
-     "softbound-unopt", "softbound", "softbound-ranges",
-     "lowfat-unopt", "lowfat", "lowfat-ranges"),
+     "softbound-unopt", "softbound", "softbound-ranges", "softbound-hoist",
+     "lowfat-unopt", "lowfat", "lowfat-ranges", "lowfat-hoist"),
     engines=("compiled", "interp"),
 ))
 
@@ -204,19 +204,26 @@ class FuzzReport:
 #: Fields that must agree bit-for-bit across VM engines for the same
 #: (program, label) cell.  This is the closure-compiled tier's
 #: "bit-identical statistics" contract, enforced at fuzzing scale.
+#: ``static`` covers the whole compile-side TargetStatistics -- in
+#: particular, the hoist transform's hoisted/coalesced/synthesized
+#: counts must be deterministic across independent compilations.
 ENGINE_INVARIANT_FIELDS = (
     "output", "status", "violation_kind", "ok",
     "cycles", "instructions", "checks_executed", "checks_wide",
     "invariant_checks", "trie_loads", "trie_stores", "shadow_stack_ops",
-    "lowfat_fallbacks", "lowfat_allocs", "opcode_counts",
+    "lowfat_fallbacks", "lowfat_allocs", "opcode_counts", "static",
 )
 
-#: ``(unfiltered, dominance-filtered, range-filtered)`` label triples;
-#: dynamic check counts must be monotonically non-increasing along
-#: each triple when all three ran cleanly.
+#: ``(unfiltered, dominance, ranges, hoist)`` label chains; dynamic
+#: check counts must be monotonically non-increasing along each chain
+#: when every member ran cleanly.  Hoisting preserves this: a widened
+#: preheader check executes once where the replaced per-iteration
+#: checks executed (trip count) x (group size) >= 1 times, and a
+#: coalesced run check executes once where its >= 2 members each
+#: executed.
 _FILTER_CHAINS = (
-    ("softbound-unopt", "softbound", "softbound-ranges"),
-    ("lowfat-unopt", "lowfat", "lowfat-ranges"),
+    ("softbound-unopt", "softbound", "softbound-ranges", "softbound-hoist"),
+    ("lowfat-unopt", "lowfat", "lowfat-ranges", "lowfat-hoist"),
 )
 
 
@@ -426,11 +433,21 @@ class DifferentialOracle:
             for label in self.matrix.labels:
                 r = grid[(label, engine)]
                 filtered = (r.static.filtered_checks
-                            + r.static.range_filtered_checks)
+                            + r.static.range_filtered_checks
+                            + r.static.hoisted_checks
+                            + r.static.coalesced_checks)
                 if filtered > r.static.gathered_checks:
                     add("filter-invariant", label, engine,
                         f"static filtered {filtered} > gathered "
                         f"{r.static.gathered_checks}")
+                if (r.static.synthesized_checks
+                        > r.static.hoisted_checks
+                        + r.static.coalesced_checks):
+                    add("filter-invariant", label, engine,
+                        f"synthesized {r.static.synthesized_checks} "
+                        f"checks exceed the "
+                        f"{r.static.hoisted_checks + r.static.coalesced_checks}"
+                        f" they replace")
         return mismatches
 
 

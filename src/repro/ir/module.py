@@ -146,7 +146,20 @@ class Function(Value):
         return self.blocks[0]
 
     def add_block(self, name: str = "", after: Optional[BasicBlock] = None) -> BasicBlock:
-        block = BasicBlock(name or self.next_name("bb"), self)
+        # Uniquify within the function: check-site identifiers
+        # (``fn:block:index``) and the per-site profile/verdict joins
+        # rely on block names not colliding (e.g. one ``for.body`` per
+        # loop emitted by the frontend).
+        if not name:
+            name = self.next_name("bb")
+        else:
+            used = {b.name for b in self.blocks}
+            if name in used:
+                suffix = 1
+                while f"{name}.{suffix}" in used:
+                    suffix += 1
+                name = f"{name}.{suffix}"
+        block = BasicBlock(name, self)
         if after is None:
             self.blocks.append(block)
         else:

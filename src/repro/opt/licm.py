@@ -101,7 +101,10 @@ class LICM(FunctionPass):
         progress = True
         while progress:
             progress = False
-            for block in list(loop.blocks):
+            # RPO, not the membership set: the preheader receives the
+            # hoisted instructions in visit order, so iteration order
+            # is visible in the output IR.
+            for block in loop.block_order:
                 if block not in fn.blocks:
                     continue
                 for inst in list(block.instructions):

@@ -52,6 +52,10 @@ class Mem2Reg(FunctionPass):
         domtree = DominatorTree(fn)
         frontier = domtree.dominance_frontier()
         phi_slots: Dict[Phi, Alloca] = {}
+        # Layout order for set-of-blocks iteration: phi names (and with
+        # them the whole downstream pipeline) must not depend on Python
+        # set ordering, or repeated compiles of the same unit diverge.
+        block_order = {b: i for i, b in enumerate(fn.blocks)}
 
         for alloca in allocas:
             defining_blocks = {
@@ -68,7 +72,7 @@ class Mem2Reg(FunctionPass):
                     if df_block not in phi_blocks:
                         phi_blocks.add(df_block)
                         worklist.append(df_block)
-            for block in phi_blocks:
+            for block in sorted(phi_blocks, key=block_order.__getitem__):
                 phi = Phi(alloca.allocated_type, fn.next_name("m2r"))
                 block.insert(0, phi)
                 phi_slots[phi] = alloca

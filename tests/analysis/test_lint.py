@@ -178,7 +178,7 @@ class TestRendering:
         assert payload[0]["code"] == "sizeless-extern-array"
         assert payload[0]["section"] == "4.3"
 
-    def test_errors_sort_before_warnings(self):
+    def test_sorted_by_unit_then_line(self):
         src = r"""
         extern int window[];
         int main() {
@@ -186,10 +186,27 @@ class TestRendering:
             a[-1] = 1;
             return window[0];
         }"""
+        diags = lint.lint_sources({"b.c": src, "a.c": src})
+        keys = [(d.unit, d.line if d.line is not None else -1)
+                for d in diags]
+        assert keys == sorted(keys)
+        assert len({d.unit for d in diags}) == 2
+
+    def test_json_has_function_line_and_loop_depth(self):
+        src = r"""
+        int main() {
+            int *a = (int *) malloc(sizeof(int) * 4);
+            for (int i = 0; i < 4; i++) {
+                a[-1] = i;
+            }
+            return 0;
+        }"""
         diags = lint.lint_sources({"main.c": src})
-        severities = [d.severity for d in diags]
-        assert severities == sorted(
-            severities, key=("error", "warning", "info").index)
+        payload = json.loads(lint.render_json(diags))
+        oob = [d for d in payload if d["code"] == "oob-access"]
+        assert oob and oob[0]["function"] == "main"
+        assert oob[0]["line"] is not None
+        assert oob[0]["loop_depth"] >= 1
 
 
 # ---------------------------------------------------------------------

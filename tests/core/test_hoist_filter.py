@@ -1,0 +1,238 @@
+"""Tests for ``-mi-opt-hoist``: loop-aware check hoisting/coalescing
+and the static safety verdicts that share its analysis.
+
+The contract under test is the extremes argument: a widened preheader
+check over an affine access hull is equivalent to the per-iteration
+checks it replaces on every valid execution, so outputs, exit codes,
+and violation verdicts must be bit-identical to ``-mi-opt-ranges``
+while the number of *executed* dynamic checks only shrinks.
+"""
+
+import pytest
+
+from repro.core import InstrumentationConfig
+from repro.driver import CompileOptions, compile_program, run_program
+
+# Unknown-size allocation (size depends on a mutable global, so the
+# range filter cannot prove the accesses safe) iterated by counted
+# loops: the hoist filter's win case.
+HOIST_SRC = r"""
+int N = 16;
+
+int main() {
+    int *a = (int *)malloc(N * 4);
+    for (int i = 0; i < 16; i++) {
+        a[i] = i * 3;
+    }
+    int s = 0;
+    for (int i = 0; i < 16; i++) {
+        s = s + a[i];
+    }
+    int t = a[0] + a[1] + a[2];
+    print_i64(s);
+    print_i64(t);
+    free(a);
+    return 0;
+}
+"""
+
+# Off-by-one inclusive bound: iteration i == 8 touches bytes 32..36 of
+# a 32-byte allocation.
+OOB_SRC = r"""
+int N = 8;
+
+int main() {
+    int *a = (int *)malloc(N * 4);
+    int s = 0;
+    for (int i = 0; i <= 8; i++) {
+        s = s + a[i];
+    }
+    print_i64(s);
+    return 0;
+}
+"""
+
+
+def _config(mechanism, variant):
+    base = (InstrumentationConfig.softbound() if mechanism == "softbound"
+            else InstrumentationConfig.lowfat())
+    if variant == "ranges":
+        return base.with_(opt_dominance=True, opt_ranges=True)
+    assert variant == "hoist"
+    return base.with_(opt_dominance=True, opt_ranges=True, opt_hoist=True)
+
+
+def _compile(src, mechanism, variant, **options_kwargs):
+    options = CompileOptions(**options_kwargs) if options_kwargs else None
+    return compile_program({"main.c": src}, _config(mechanism, variant),
+                           options=options)
+
+
+class TestHoistStatistics:
+    @pytest.mark.parametrize("mechanism", ["softbound", "lowfat"])
+    def test_hoists_and_coalesces(self, mechanism):
+        prog = _compile(HOIST_SRC, mechanism, "hoist")
+        stats = prog.instrumentation
+        assert stats.hoisted_checks > 0
+        assert stats.coalesced_checks > 0
+        assert stats.synthesized_checks > 0
+        # A synthesized check replaces a whole hoist group or run.
+        assert stats.synthesized_checks <= (
+            stats.hoisted_checks + stats.coalesced_checks)
+        # Accounting stays consistent.
+        removed = (stats.filtered_checks + stats.range_filtered_checks
+                   + stats.hoisted_checks + stats.coalesced_checks)
+        assert removed <= stats.gathered_checks
+        assert stats.emitted_checks == (
+            stats.gathered_checks - removed + stats.synthesized_checks)
+
+    def test_disabled_without_flag(self):
+        prog = _compile(HOIST_SRC, "softbound", "ranges")
+        stats = prog.instrumentation
+        assert stats.hoisted_checks == 0
+        assert stats.coalesced_checks == 0
+        assert stats.synthesized_checks == 0
+
+    @pytest.mark.parametrize("mechanism", ["softbound", "lowfat"])
+    def test_static_counts_engine_independent(self, mechanism):
+        # Static counters are fixed at compile time; running on either
+        # engine must report the identical instrumentation statistics.
+        prog = _compile(HOIST_SRC, mechanism, "hoist")
+        before = prog.instrumentation
+        for engine in ("compiled", "interp"):
+            run_program(prog, max_instructions=2_000_000, engine=engine)
+            assert prog.instrumentation == before
+
+
+class TestHoistBehaviourPreserving:
+    @pytest.mark.parametrize("mechanism", ["softbound", "lowfat"])
+    @pytest.mark.parametrize("engine", ["compiled", "interp"])
+    def test_valid_program_identical_and_cheaper(self, mechanism, engine):
+        prog_rng = _compile(HOIST_SRC, mechanism, "ranges")
+        prog_hst = _compile(HOIST_SRC, mechanism, "hoist")
+        rng = run_program(prog_rng, max_instructions=2_000_000, engine=engine)
+        hst = run_program(prog_hst, max_instructions=2_000_000, engine=engine)
+        assert hst.output == rng.output
+        assert hst.exit_code == rng.exit_code
+        assert hst.violation is None and rng.violation is None
+        assert hst.stats.checks_executed < rng.stats.checks_executed
+
+    @pytest.mark.parametrize("engine", ["compiled", "interp"])
+    def test_violation_still_detected(self, engine):
+        # SoftBound catches the off-by-one with and without hoisting.
+        prog_rng = _compile(OOB_SRC, "softbound", "ranges")
+        prog_hst = _compile(OOB_SRC, "softbound", "hoist")
+        rng = run_program(prog_rng, max_instructions=2_000_000, engine=engine)
+        hst = run_program(prog_hst, max_instructions=2_000_000, engine=engine)
+        assert rng.violation is not None
+        assert hst.violation is not None
+        assert hst.violation.kind == rng.violation.kind
+
+
+class TestCheckVerdicts:
+    def test_proven_violating_loop(self):
+        # The allocation size must be statically known for the
+        # loop-extent proof to conclude "proven-violating".
+        src = r"""
+        int main() {
+            int *a = (int *)malloc(32);
+            int s = 0;
+            for (int i = 0; i <= 8; i++) {
+                s = s + a[i];
+            }
+            print_i64(s);
+            return 0;
+        }
+        """
+        prog = _compile(src, "softbound", "hoist", collect_verdicts=True)
+        assert "proven-violating" in prog.check_verdicts.values()
+        assert prog.instrumentation.verdicts.get("proven-violating", 0) > 0
+
+    def test_proven_safe_sites(self):
+        src = r"""
+        int main() {
+            int a[8];
+            for (int i = 0; i < 8; i++) a[i] = i;
+            print_i64(a[7]);
+            return 0;
+        }
+        """
+        prog = _compile(src, "softbound", "hoist", collect_verdicts=True)
+        assert "proven-safe" in prog.check_verdicts.values()
+
+    def test_verdicts_computed_alongside_hoist(self):
+        # The hoist filter's range analysis is reused for verdicts, so
+        # any hoist-enabled compile reports them for free.
+        prog = _compile(OOB_SRC, "softbound", "hoist")
+        assert prog.check_verdicts != {}
+
+    def test_verdicts_absent_without_range_analysis(self):
+        base = InstrumentationConfig.softbound()
+        prog = compile_program({"main.c": OOB_SRC}, base)
+        assert prog.check_verdicts == {}
+
+
+class TestHoistCorpusDifferential:
+    """-mi-opt-hoist must be behaviour-preserving on the whole
+    functional corpus under both instrumentations."""
+
+    def _check_case(self, case, mechanism):
+        prog_rng = compile_program({"main.c": case.source},
+                                   _config(mechanism, "ranges"))
+        prog_hst = compile_program({"main.c": case.source},
+                                   _config(mechanism, "hoist"))
+        rng = run_program(prog_rng, max_instructions=2_000_000)
+        hst = run_program(prog_hst, max_instructions=2_000_000)
+        assert hst.output == rng.output
+        assert hst.exit_code == rng.exit_code
+        assert (hst.violation is None) == (rng.violation is None)
+        if hst.violation is not None:
+            assert hst.violation.kind == rng.violation.kind
+        assert (hst.fault is None) == (rng.fault is None)
+        stat_h, stat_r = prog_hst.instrumentation, prog_rng.instrumentation
+        assert stat_h.gathered_checks == stat_r.gathered_checks
+        assert stat_h.emitted_checks <= stat_r.emitted_checks
+        assert hst.stats.checks_executed <= rng.stats.checks_executed
+
+    def test_softbound_corpus(self):
+        from repro.workloads.functional import corpus_by_name
+
+        for case in corpus_by_name().values():
+            self._check_case(case, "softbound")
+
+    def test_lowfat_corpus(self):
+        from repro.workloads.functional import corpus_by_name
+
+        for case in corpus_by_name().values():
+            self._check_case(case, "lowfat")
+
+
+class TestFilterChainMonotonicity:
+    """Satellite: along unopt -> dominance -> ranges -> hoist, the
+    number of emitted (static) checks must never grow, on every
+    bundled workload and under both mechanisms."""
+
+    CHAIN = (
+        {},
+        {"opt_dominance": True},
+        {"opt_dominance": True, "opt_ranges": True},
+        {"opt_dominance": True, "opt_ranges": True, "opt_hoist": True},
+    )
+
+    @pytest.mark.parametrize("mechanism", ["softbound", "lowfat"])
+    def test_all_workloads(self, mechanism):
+        from repro.workloads import all_workloads
+
+        base = (InstrumentationConfig.softbound() if mechanism == "softbound"
+                else InstrumentationConfig.lowfat())
+        workloads = all_workloads()
+        assert len(workloads) == 20
+        for workload in workloads:
+            emitted = []
+            for overrides in self.CHAIN:
+                prog = compile_program(workload.sources,
+                                       base.with_(**overrides))
+                emitted.append(prog.instrumentation.emitted_checks)
+            assert emitted == sorted(emitted, reverse=True), (
+                f"{workload.name}: emitted checks not monotone "
+                f"along the filter chain: {emitted}")

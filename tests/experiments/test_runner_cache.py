@@ -196,12 +196,14 @@ class TestDiskCache:
         assert job_key(dict(payload, engine="interp")) == \
             job_key(dict(payload, engine="compiled"))
 
-    def test_format_version_unchanged_by_engine_tier(self):
-        # The closure-compiled tier required no cache-version bump:
-        # entries written by earlier revisions still replay.
+    def test_format_version_tracks_schema_changes(self):
+        # The closure-compiled tier required no bump (engines are
+        # bit-identical), but the hoist filter did: TargetStatistics
+        # grew the hoist counters and static verdicts, so version-2
+        # entries would deserialize with missing fields.
         from repro.experiments.cache import CACHE_FORMAT_VERSION
 
-        assert CACHE_FORMAT_VERSION == 2
+        assert CACHE_FORMAT_VERSION == 3
 
     def test_interp_cached_result_replays_for_compiled(self, tmp_path,
                                                        monkeypatch):

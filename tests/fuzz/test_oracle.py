@@ -34,10 +34,12 @@ def _result(label, *, output=("1", "done"), status="exit",
 
 class TestMatrices:
     def test_full_matrix_shape(self):
-        assert len(FULL_MATRIX.labels) == 7
+        assert len(FULL_MATRIX.labels) == 9
         assert FULL_MATRIX.engines == ("compiled", "interp")
-        assert len(FULL_MATRIX) == 14
-        assert len(FULL_MATRIX.cells) == 14
+        assert len(FULL_MATRIX) == 18
+        assert len(FULL_MATRIX.cells) == 18
+        assert "softbound-hoist" in FULL_MATRIX.labels
+        assert "lowfat-hoist" in FULL_MATRIX.labels
 
     def test_quick_matrix_shape(self):
         assert len(QUICK_MATRIX) == 3

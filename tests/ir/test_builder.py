@@ -100,3 +100,43 @@ class TestHelpers:
         b.position_at_end(cond_false)
         b.ret(b.const_i64(0))
         verify_function(fn)
+
+
+class TestBlockNameUniquification:
+    def test_duplicate_names_get_suffixes(self):
+        # Check-site identifiers are "fn:block:index", so two blocks in
+        # one function must never share a name (the frontend emits one
+        # "for.body" per loop).
+        mod = Module("t")
+        fn = mod.add_function("f", FunctionType(I32, []))
+        first = fn.add_block("for.body")
+        second = fn.add_block("for.body")
+        third = fn.add_block("for.body")
+        assert first.name == "for.body"
+        assert second.name == "for.body.1"
+        assert third.name == "for.body.2"
+
+    def test_explicit_suffix_collision_resolved(self):
+        mod = Module("t")
+        fn = mod.add_function("f", FunctionType(I32, []))
+        fn.add_block("bb")
+        taken = fn.add_block("bb.1")
+        renamed = fn.add_block("bb")
+        assert taken.name == "bb.1"
+        assert renamed.name == "bb.2"
+
+    def test_frontend_functions_have_unique_block_names(self):
+        from repro.frontend import compile_source
+
+        mod = compile_source(r"""
+        int f(int *a, int n) {
+            int s = 0;
+            for (int i = 0; i < n; i++) s = s + a[i];
+            for (int i = 0; i < n; i++) s = s * a[i];
+            while (s > 100) s = s / 2;
+            while (s > 10) s = s - 1;
+            return s;
+        }""")
+        fn = mod.get_function("f")
+        names = [b.name for b in fn.blocks]
+        assert len(names) == len(set(names))

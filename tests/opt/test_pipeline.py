@@ -177,3 +177,21 @@ def test_instrument_hook_position_matters():
         build_pipeline(3, instrument=snoop_calls(tag), extension_point=ep).run(mod)
     assert observed["early"] == 1
     assert observed["late"] == 0
+
+
+def test_pipeline_is_deterministic():
+    """Repeated compiles of the same unit must print identically.
+
+    Regressions here came from Python set iteration leaking into the
+    IR: mem2reg's phi placement order (names) and LICM's hoist order
+    (preheader instruction order).  Check-site statistics are compared
+    across independent compiles by the fuzz oracle, so the whole
+    pipeline must be a pure function of the source.
+    """
+    src = PROGRAMS["heap-sort"]
+    outputs = set()
+    for _ in range(3):
+        mod = compile_source(src)
+        build_pipeline(3).run(mod)
+        outputs.add(str(mod))
+    assert len(outputs) == 1
