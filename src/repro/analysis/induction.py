@@ -23,10 +23,18 @@ here:
   ``root + slope*iv + intercept`` (bytes) by walking its GEP/bitcast
   chain through the typed layout, where ``root`` is loop-invariant and
   available in the preheader.  Index expressions may use the IV,
-  constants, ``add``/``sub``/``mul``/``shl`` with constant operands
-  and value-preserving ``sext``/``zext`` casts; ``trunc`` is rejected
-  (a truncated index can wrap back *into* bounds, which would break
-  the extremes argument below).
+  constants, and ``add``/``sub``/``mul``/``shl``/``sext``/``zext``
+  combinations thereof -- but the VM implements *fixed-width wrapping*
+  arithmetic, so the decomposition is only exact when no intermediate
+  wraps.  Every node of the index expression is therefore checked to
+  fit its own integer type across the whole IV range the check
+  executes over (the model is linear in ``iv``, so checking the two
+  endpoint values suffices); ``zext`` additionally requires its
+  operand to be provably non-negative over that range (``zext`` of a
+  negative value is not value-preserving), and ``trunc`` is always
+  rejected.  Any node that could wrap makes the modeled address
+  diverge from the executed one in *either* direction, so the whole
+  pointer is conservatively rejected.
 
 Why a single widened check is exact (the *extremes argument*): the
 addresses a group of affine checks accesses over iterations
@@ -45,6 +53,17 @@ actually accesses and abort a valid run.  For the same reason the
 recognizer requires a static proof that the loop runs at least once
 (``init < bound`` at the preheader): for a zero-trip loop the "first
 access" does not exist, so there is nothing sound to check.
+
+One block is special: the *header* executes ``trip_count + 1`` times
+-- its instructions also run on the final entry whose exit test
+fails, with ``iv == last + step``.  A header-resident access
+therefore spans IV values ``init .. last+step``, one step beyond a
+body access, and all hull computations (hoisting, verdicts, lint)
+must widen header-resident groups by one extra step.  That extension
+is still exact: whenever the loop is entered the header runs for
+every one of those IV values, including the final one.  The
+recognizer's latch-increment no-wrap proof covers ``last + step``
+too, so the extended endpoint is modeled faithfully.
 
 The same decomposition yields *static safety verdicts*: when the loop
 bound is a compile-time constant and the range analysis knows the
@@ -70,7 +89,14 @@ from ..ir.instructions import (
     Phi,
 )
 from ..ir.module import BasicBlock
-from ..ir.types import ArrayType, PointerType, StructType, size_of, struct_field_offset
+from ..ir.types import (
+    ArrayType,
+    IntType,
+    PointerType,
+    StructType,
+    size_of,
+    struct_field_offset,
+)
 from ..ir.values import ConstantInt, Value
 from .dominators import DominatorTree
 from .loops import Loop
@@ -86,6 +112,13 @@ _SWAPPED = {"slt": "sgt", "sle": "sge", "sgt": "slt", "sge": "sle",
 _NEGATED = {"slt": "sge", "sle": "sgt", "sgt": "sle", "sge": "slt",
             "ult": "uge", "ule": "ugt", "ugt": "ule", "uge": "ult",
             "eq": "ne", "ne": "eq"}
+
+#: Magnitude cap on recognized IV/bound/offset values.  Keeping every
+#: modeled quantity far below 2**63 means the synthesized i64 hull
+#: arithmetic in the preheader (sub/sdiv/mul/add chains) can never
+#: wrap, so the Python-side exact integers and the VM's fixed-width
+#: results agree.  No realistic loop comes anywhere near the cap.
+_MAG_LIMIT = 1 << 59
 
 
 def _may_abort_call(inst: Instruction) -> bool:
@@ -117,6 +150,11 @@ class CountedLoop:
     step: int                 # positive constant increment per iteration
     predicate: str            # normalized continue predicate: slt/sle/ne
     bound: Value              # loop-invariant compare bound
+    #: Conservative upper bound on the last in-loop IV value, derived
+    #: from the bound's range fact at the preheader.  The recognizer
+    #: proves ``last_hi + step`` fits the IV's type, so neither the
+    #: latch increment nor the final header-entry IV ever wraps.
+    last_hi: int = 0
     #: Last IV value when the bound is itself a constant, else None
     #: (the filter then synthesizes the computation at run time).
     static_last: Optional[int] = None
@@ -125,6 +163,13 @@ class CountedLoop:
         if self.static_last is None:
             return None
         return (self.static_last - self.init) // self.step + 1
+
+    def iv_range(self, header_resident: bool = False) -> Tuple[int, int]:
+        """Inclusive range of IV values an access executes over: body
+        blocks see ``init..last``; the header also runs on the final
+        exit-test entry with ``iv == last + step``."""
+        hi = self.last_hi + (self.step if header_resident else 0)
+        return (self.init, hi)
 
 
 def _peel_condition(cond: Value, taken: bool) -> Tuple[Value, bool]:
@@ -159,14 +204,29 @@ def available_outside(value: Value, point: Instruction,
     return domtree.dominates(value, point)
 
 
-def _loop_terminates(loop: Loop, domtree: DominatorTree) -> bool:
+def _loop_terminates(loop: Loop, domtree: DominatorTree,
+                     analysis: FunctionRangeAnalysis) -> bool:
     """Prove ``loop`` always terminates: its only exit is the header's
     conditional branch on an IV that advances by a positive constant
     step toward a loop-invariant bound, and every subloop terminates
     too.  Unlike the full counted-loop recognition this needs no
-    constant init and no minimum-trip proof -- a zero-trip subloop
-    still lets the enclosing loop finish its iteration."""
-    if not all(_loop_terminates(sub, domtree) for sub in loop.subloops):
+    minimum-trip proof -- a zero-trip subloop still lets the enclosing
+    loop finish its iteration.  It *does* need wrap evidence, because
+    the VM's arithmetic is fixed-width:
+
+    * ``slt``/``sle``: the increment must not be able to jump the IV
+      over the bound and wrap past the type maximum (``while (i <=
+      INT_MAX)`` never exits -- the IV wraps and stays ``<= bound``),
+      so ``bound_hi + step`` (``sle``; minus one for ``slt``) must fit
+      the compare type;
+    * ``ne`` (step 1): the IV must provably start at or below the
+      bound -- a runtime ``init > bound`` spins for ~2**bits
+      iterations before the wrapped IV comes back around, which is a
+      hang for every practical purpose.  Both proofs come from the
+      range facts at the loop's preheader; without a preheader only
+      compile-time constants qualify."""
+    if not all(_loop_terminates(sub, domtree, analysis)
+               for sub in loop.subloops):
         return False
     if len(loop.latches) != 1:
         return False
@@ -219,6 +279,45 @@ def _loop_terminates(loop: Loop, domtree: DominatorTree) -> bool:
         if isinstance(bound, Instruction) and isinstance(
                 bound.parent, BasicBlock) and bound.parent in loop.blocks:
             continue  # bound varies inside the loop
+        preheader = loop.preheader()
+        query = preheader.terminator if preheader is not None else None
+        if isinstance(bound, ConstantInt):
+            bound_lo = bound_hi = bound.signed_value
+        elif query is not None:
+            bound_range = analysis.int_range_before(query, bound)
+            if bound_range is None:
+                continue
+            bound_lo, bound_hi = bound_range.lo, bound_range.hi
+        else:
+            continue  # no program point to prove wrap facts at
+        bits_ty = phi.type
+        if not isinstance(bits_ty, IntType):
+            continue
+        type_max = bits_ty.max_signed
+        if predicate == "ne":
+            # Step 1 hits the bound exactly -- provided it starts at
+            # or below it on every execution.
+            if preheader is None:
+                continue
+            try:
+                init_v = phi.incoming_value_for(preheader)
+            except KeyError:
+                continue
+            if isinstance(init_v, ConstantInt):
+                init_hi = init_v.signed_value
+            else:
+                init_range = analysis.int_range_before(query, init_v)
+                if init_range is None:
+                    continue
+                init_hi = init_range.hi
+            if init_hi > bound_lo:
+                continue
+        else:
+            # The overshoot after the final in-bound IV must not wrap:
+            # max in-loop IV is bound-1 (slt) / bound (sle), plus step.
+            overshoot = bound_hi + step - (1 if predicate == "slt" else 0)
+            if overshoot > type_max:
+                continue
         return True
     return False
 
@@ -234,7 +333,8 @@ def analyze_counted_loop(
     unbounded subloop could keep the outer loop from ever reaching the
     iterations a hoisted check already covered.
     """
-    if not all(_loop_terminates(sub, domtree) for sub in loop.subloops):
+    if not all(_loop_terminates(sub, domtree, analysis)
+               for sub in loop.subloops):
         return None
     preheader = loop.preheader()
     if preheader is None:
@@ -334,6 +434,24 @@ def analyze_counted_loop(
     elif init >= bound_lo:
         return None
 
+    # Wrap soundness.  The VM's arithmetic is fixed-width, so the
+    # model (exact integers) is only faithful when nothing wraps:
+    # ``last_hi + step`` -- the largest value the latch increment can
+    # produce, and the IV of the final header entry -- must fit the
+    # IV's type.  The magnitude cap additionally keeps the preheader's
+    # synthesized i64 hull arithmetic exact.
+    iv_ty = iv.type
+    if not isinstance(iv_ty, IntType):
+        return None
+    if max(abs(init), abs(bound_lo), abs(bound_hi)) > _MAG_LIMIT:
+        return None
+    if predicate == "sle":
+        last_hi = init + ((bound_hi - init) // step) * step
+    else:  # slt / ne
+        last_hi = init + ((bound_hi - 1 - init) // step) * step
+    if last_hi + step > iv_ty.max_signed:
+        return None
+
     static_last: Optional[int] = None
     if isinstance(bound, ConstantInt):
         b = bound.signed_value
@@ -344,7 +462,7 @@ def analyze_counted_loop(
 
     return CountedLoop(loop=loop, preheader=preheader, latch=latch, iv=iv,
                        init=init, step=step, predicate=predicate,
-                       bound=bound, static_last=static_last)
+                       bound=bound, last_hi=last_hi, static_last=static_last)
 
 
 # ----------------------------------------------------------------------
@@ -354,51 +472,99 @@ def analyze_counted_loop(
 _MAX_DEPTH = 24
 
 
+def _model_extremes(model: Tuple[int, int],
+                    iv_range: Tuple[int, int]) -> Tuple[int, int]:
+    """Min/max of ``a*iv + b`` over the inclusive IV range (linear, so
+    attained at the endpoints)."""
+    a, b = model
+    lo, hi = a * iv_range[0] + b, a * iv_range[1] + b
+    return (lo, hi) if lo <= hi else (hi, lo)
+
+
+def _fits_type(model: Tuple[int, int], bits: int,
+               iv_range: Tuple[int, int]) -> bool:
+    """Does ``a*iv + b`` stay inside the signed ``bits``-wide range for
+    every IV value the expression is evaluated at?  When it does, the
+    VM's wrapping result equals the exact-integer model."""
+    lo, hi = _model_extremes(model, iv_range)
+    return lo >= -(1 << (bits - 1)) and hi <= (1 << (bits - 1)) - 1
+
+
 def _affine_int(value: Value, iv: Optional[Phi],
+                iv_range: Tuple[int, int],
                 depth: int = 0) -> Optional[Tuple[int, int]]:
-    """``value == a*iv + b`` exactly (over the integers) for every
-    execution on which no intermediate wraps.  Wrapping intermediates
-    throw the access so far outside any allocation that the original
-    per-iteration check (and the widened check, whose extent inherits
-    the same arithmetic) reports anyway -- only ``trunc`` can fold a
-    wrapped value back into bounds, so only ``trunc`` is rejected."""
+    """``value == a*iv + b`` exactly for every IV value in the
+    inclusive ``iv_range``.  The VM's arithmetic wraps at each node's
+    type width, so exactness requires a per-node proof that the
+    modeled value fits that type over the whole range: an i32
+    ``i * 0x40000000`` that wraps would make the executed address
+    diverge from the model in either direction, and a negative value
+    flowing through ``zext`` is not value-preserving.  Any node
+    without such a proof rejects the whole expression."""
     if depth > _MAX_DEPTH:
         return None
     if iv is not None and value is iv:
+        # The recognizer proved every IV value in iv_range fits the
+        # IV's own type (last_hi + step no-wrap check).
         return (1, 0)
     if isinstance(value, ConstantInt):
         return (0, value.signed_value)
     if isinstance(value, Cast):
-        if value.opcode in ("sext", "zext"):
-            return _affine_int(value.value, iv, depth + 1)
-        return None
+        operand = _affine_int(value.value, iv, iv_range, depth + 1)
+        if operand is None:
+            return None
+        if value.opcode == "sext":
+            return operand  # value-preserving on signed values
+        if value.opcode == "zext":
+            # Only value-preserving when the operand is non-negative
+            # on every iteration.
+            if _model_extremes(operand, iv_range)[0] < 0:
+                return None
+            return operand
+        return None  # trunc folds wrapped values back into range
     if isinstance(value, BinOp):
+        ty = value.type
+        if not isinstance(ty, IntType):
+            return None
+        result: Optional[Tuple[int, int]] = None
         if value.opcode in ("add", "sub"):
-            lhs = _affine_int(value.lhs, iv, depth + 1)
-            rhs = _affine_int(value.rhs, iv, depth + 1)
+            lhs = _affine_int(value.lhs, iv, iv_range, depth + 1)
+            rhs = _affine_int(value.rhs, iv, iv_range, depth + 1)
             if lhs is None or rhs is None:
                 return None
             if value.opcode == "add":
-                return (lhs[0] + rhs[0], lhs[1] + rhs[1])
-            return (lhs[0] - rhs[0], lhs[1] - rhs[1])
-        if value.opcode == "mul":
-            lhs = _affine_int(value.lhs, iv, depth + 1)
-            rhs = _affine_int(value.rhs, iv, depth + 1)
+                result = (lhs[0] + rhs[0], lhs[1] + rhs[1])
+            else:
+                result = (lhs[0] - rhs[0], lhs[1] - rhs[1])
+        elif value.opcode == "mul":
+            lhs = _affine_int(value.lhs, iv, iv_range, depth + 1)
+            rhs = _affine_int(value.rhs, iv, iv_range, depth + 1)
             if lhs is None or rhs is None:
                 return None
             if lhs[0] == 0:
-                return (lhs[1] * rhs[0], lhs[1] * rhs[1])
-            if rhs[0] == 0:
-                return (lhs[0] * rhs[1], lhs[1] * rhs[1])
-            return None
-        if value.opcode == "shl":
-            lhs = _affine_int(value.lhs, iv, depth + 1)
+                result = (lhs[1] * rhs[0], lhs[1] * rhs[1])
+            elif rhs[0] == 0:
+                result = (lhs[0] * rhs[1], lhs[1] * rhs[1])
+            else:
+                return None
+        elif value.opcode == "shl":
+            lhs = _affine_int(value.lhs, iv, iv_range, depth + 1)
             if lhs is None or not isinstance(value.rhs, ConstantInt):
                 return None
             shift = value.rhs.signed_value
-            if not 0 <= shift < 63:
+            # The VM shifts by ``rhs % bits``: a shift >= the width
+            # would not mean what the model says.
+            if not 0 <= shift < ty.bits:
                 return None
-            return (lhs[0] << shift, lhs[1] << shift)
+            result = (lhs[0] << shift, lhs[1] << shift)
+        if result is None:
+            return None
+        # The operands are exact by induction, so the mathematical
+        # result equals the model; fitting the node's type makes the
+        # wrapped result equal it too.
+        if not _fits_type(result, ty.bits, iv_range):
+            return None
+        return result
     return None
 
 
@@ -416,11 +582,22 @@ def affine_pointer(
     iv: Optional[Phi],
     point: Instruction,
     domtree: DominatorTree,
+    iv_range: Optional[Tuple[int, int]] = None,
 ) -> Optional[AffinePointer]:
     """Decompose a checked pointer into an affine byte offset from a
     root that is available at ``point`` (the preheader terminator for
     hoisting; the first run member for block coalescing).  With
-    ``iv=None`` only constant offsets qualify (slope 0)."""
+    ``iv=None`` only constant offsets qualify (slope 0).
+
+    ``iv_range`` is the inclusive range of IV values the pointer is
+    evaluated at (``CountedLoop.iv_range`` -- mind header residency);
+    it drives the per-node no-wrap proofs, so it is mandatory whenever
+    ``iv`` is given."""
+    if iv is not None and iv_range is None:
+        raise ValueError("iv_range is required when decomposing "
+                         "against an induction variable")
+    if iv_range is None:
+        iv_range = (0, 0)
     slope = 0
     intercept = 0
     value = pointer
@@ -446,7 +623,7 @@ def affine_pointer(
                     continue
                 else:
                     return None
-                affine = _affine_int(index, iv)
+                affine = _affine_int(index, iv, iv_range)
                 if affine is None:
                     return None
                 slope += scale * affine[0]
@@ -461,19 +638,31 @@ def affine_pointer(
         return None  # depth exhausted mid-chain
     if not available_outside(root, point, domtree):
         return None
+    # Keep the whole modeled byte-offset hull far below 2**63: the VM
+    # adds GEP offsets to the address modulo 2**64, and the preheader's
+    # synthesized extent arithmetic runs in i64 -- both exact only
+    # while nothing approaches the wrap boundary.
+    lo_off, hi_off = _model_extremes((slope, intercept), iv_range)
+    if (abs(intercept) > _MAG_LIMIT or abs(lo_off) > _MAG_LIMIT
+            or abs(hi_off) > _MAG_LIMIT):
+        return None
     return AffinePointer(root=root, slope=slope, intercept=intercept)
 
 
 def extent_bytes(
-    affine: AffinePointer, counted: CountedLoop, width: int
+    affine: AffinePointer, counted: CountedLoop, width: int,
+    header_resident: bool = False,
 ) -> Optional[Tuple[int, int]]:
     """Static accessed extent ``[lo, hi)`` relative to the root, when
     the trip count is static.  Used for the proven-safe /
-    proven-violating loop verdicts."""
+    proven-violating loop verdicts.  Header-resident accesses also run
+    on the final exit-test entry (``iv == last + step``), so their
+    hull is one step wider."""
     if counted.static_last is None:
         return None
+    last_iv = counted.static_last + (counted.step if header_resident else 0)
     first = affine.slope * counted.init + affine.intercept
-    last = affine.slope * counted.static_last + affine.intercept
+    last = affine.slope * last_iv + affine.intercept
     lo = min(first, last)
     hi = max(first, last) + width
     return (lo, hi)

@@ -329,11 +329,16 @@ def _lint_proven_oob_loops(fn: Function, unit: str,
             continue
         for block in loop.block_order:
             # Subloop blocks may run zero times per iteration, so a
-            # hull endpoint there is not necessarily accessed.
+            # hull endpoint there is not necessarily accessed.  Header
+            # blocks run once *more* (the final exit-test entry with
+            # iv == last + step), so their hull is one step wider --
+            # which is what catches the classic rotated do-while
+            # off-by-one.
             if loopinfo.loop_of(block) is not loop:
                 continue
             if not domtree.dominates_block(block, counted.latch):
                 continue
+            header_resident = block is loop.header
             for inst in block.instructions:
                 if not isinstance(inst, (Load, Store)):
                     continue
@@ -343,10 +348,12 @@ def _lint_proven_oob_loops(fn: Function, unit: str,
                 if fact is not None and fact.proves_out_of_bounds(width):
                     continue  # already an ``oob-access`` finding
                 aff = affine_pointer(inst.pointer, counted.iv,
-                                     counted.preheader.terminator, domtree)
+                                     counted.preheader.terminator, domtree,
+                                     counted.iv_range(header_resident))
                 if aff is None:
                     continue
-                extent = extent_bytes(aff, counted, width)
+                extent = extent_bytes(aff, counted, width,
+                                      header_resident)
                 if extent is None:
                     continue
                 root_fact = analysis.pointer_fact_before(

@@ -174,11 +174,14 @@ def _synthesize_check(
 def _hoist_loop_groups(
     fn: Function,
     counted: CountedLoop,
-    members: "Dict[Tuple[int, int], Tuple[Value, List[Tuple[ITarget, AffinePointer]]]]",
+    members: "Dict[Tuple[int, int, bool], Tuple[Value, List[Tuple[ITarget, AffinePointer]]]]",
     site_counter: List[int],
 ) -> Tuple[List[ITarget], set]:
-    """Synthesize one widened preheader check per (root, slope) group
-    and report the replaced member targets."""
+    """Synthesize one widened preheader check per (root, slope,
+    header-resident) group and report the replaced member targets.
+    Header-resident members also execute on the final exit-test entry
+    (``iv == last + step``), so their group's hull extends one step
+    further than a body group's."""
     from .mechanism import MarkingBuilder
 
     preheader = counted.preheader
@@ -211,7 +214,8 @@ def _hoist_loop_groups(
             last_value = builder.add(stepped, builder.const_i64(counted.init))
         return last_value
 
-    for (_, slope), (root, group) in members.items():
+    for (_, slope, header_resident), (root, group) in members.items():
+        extra = counted.step if header_resident else 0
         min_b = min(aff.intercept for _, aff in group)
         max_end = max(aff.intercept + t.width for t, aff in group)
         max_width = max(t.width for t, _ in group)
@@ -221,13 +225,15 @@ def _hoist_loop_groups(
             lo, extent = min_b, max_end - min_b
         elif counted.static_last is not None:
             first = slope * counted.init
-            last = slope * counted.static_last
+            last = slope * (counted.static_last + extra)
             lo = min(first, last) + min_b
             extent = max(first, last) + max_end - lo
         else:
             builder.position_before(anchor)
-            scaled = builder.mul(runtime_last(),
-                                 builder.const_i64(slope))
+            last_v = runtime_last()
+            if extra:
+                last_v = builder.add(last_v, builder.const_i64(extra))
+            scaled = builder.mul(last_v, builder.const_i64(slope))
             if slope > 0:
                 lo = slope * counted.init + min_b
                 hi = builder.add(scaled, builder.const_i64(max_end))
@@ -256,9 +262,11 @@ def hoist_filter(
     :mod:`repro.analysis.induction` and DESIGN.md section 3h):
 
     * only *counted* loops qualify (exact trip count, header-only
-      exit, no may-abort calls, proven to run at least once), and only
-      checks whose block dominates the latch (they execute on every
-      iteration);
+      exit, no may-abort calls, proven to run at least once, no
+      IV/index wrap), and only checks whose block dominates the latch
+      (they execute on every iteration); header-resident checks
+      additionally run on the final exit-test entry with
+      ``iv == last + step``, so their hull is widened by one step;
     * the widened check's extent is computed from the *dynamic* trip
       count -- synthesized i64 arithmetic on the loop bound -- so the
       checked interval is exactly the hull of the accessed bytes;
@@ -294,7 +302,7 @@ def hoist_filter(
         counted = analyze_counted_loop(loop, domtree, analysis)
         if counted is None:
             continue
-        groups: Dict[Tuple[int, int],
+        groups: Dict[Tuple[int, int, bool],
                      Tuple[Value, List[Tuple[ITarget, AffinePointer]]]] = {}
         for target in checks:
             if id(target) in removed:
@@ -307,11 +315,16 @@ def hoist_filter(
                 continue
             if not domtree.dominates_block(block, counted.latch):
                 continue
+            # Header instructions also run on the final exit-test
+            # entry (iv == last + step): their group's hull must cover
+            # one extra step, so they are keyed separately.
+            header_resident = block is loop.header
             aff = affine_pointer(target.pointer, counted.iv,
-                                 counted.preheader.terminator, domtree)
+                                 counted.preheader.terminator, domtree,
+                                 counted.iv_range(header_resident))
             if aff is None:
                 continue
-            key = (id(aff.root), aff.slope)
+            key = (id(aff.root), aff.slope, header_resident)
             groups.setdefault(key, (aff.root, []))[1].append((target, aff))
         if not groups:
             continue
@@ -440,16 +453,20 @@ def check_verdicts(
             # Same membership rule as hoisting: the extremes of the
             # hull are genuinely accessed only if the check runs once
             # per iteration of *this* loop (not a possibly-zero-trip
-            # subloop).
+            # subloop).  Header-resident checks run once more, on the
+            # final exit-test entry, so their hull is one step wider.
             if loopinfo.loop_of(block) is not loop:
                 continue
             if not domtree.dominates_block(block, counted.latch):
                 continue
+            header_resident = block is loop.header
             aff = affine_pointer(target.pointer, counted.iv,
-                                 counted.preheader.terminator, domtree)
+                                 counted.preheader.terminator, domtree,
+                                 counted.iv_range(header_resident))
             if aff is None:
                 continue
-            extent = extent_bytes(aff, counted, target.width)
+            extent = extent_bytes(aff, counted, target.width,
+                                  header_resident)
             if extent is None:
                 continue
             root_fact = analysis.pointer_fact_before(

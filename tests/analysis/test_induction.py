@@ -8,6 +8,7 @@ multi-backedge (shared-header) CFGs in :mod:`repro.analysis.loops`.
 from repro.analysis import DominatorTree, LoopInfo
 from repro.analysis.induction import (
     AffinePointer,
+    _affine_int,
     affine_pointer,
     analyze_counted_loop,
     extent_bytes,
@@ -18,8 +19,10 @@ from repro.ir import (
     FunctionType,
     I1,
     I32,
+    I64,
     IRBuilder,
     Module,
+    PointerType,
 )
 from repro.opt import Mem2Reg, SimplifyCFG
 
@@ -157,7 +160,8 @@ class TestAffineDecomposition:
         loads = [t for b in counted.loop.block_order
                  for t in b.instructions if t.opcode == "load"]
         aff = affine_pointer(loads[0].pointer, counted.iv,
-                             counted.preheader.terminator, domtree)
+                             counted.preheader.terminator, domtree,
+                             counted.iv_range())
         assert isinstance(aff, AffinePointer)
         assert aff.slope == 4          # int stride
         assert aff.intercept == 8      # + 2 elements
@@ -174,7 +178,8 @@ class TestAffineDecomposition:
         loads = [t for b in counted.loop.block_order
                  for t in b.instructions if t.opcode == "load"]
         aff = affine_pointer(loads[0].pointer, counted.iv,
-                             counted.preheader.terminator, domtree)
+                             counted.preheader.terminator, domtree,
+                             counted.iv_range())
         assert aff is not None and aff.slope == 0 and aff.intercept == 12
 
 
@@ -296,3 +301,199 @@ class TestMultiBackedgeLoops:
         li = LoopInfo(fn)
         assert len(li.all_loops()) == 1
         assert li.all_loops()[0].subloops == []
+
+
+# ---------------------------------------------------------------------
+# Wrap soundness: the VM's arithmetic is fixed-width, so the affine
+# model must reject anything that could wrap (REVIEW regression).
+# ---------------------------------------------------------------------
+
+
+class TestWrapSoundness:
+    def test_narrow_mul_that_wraps_rejected(self):
+        # i * 2**28 wraps i32 from i == 8 on: the executed (wrapped)
+        # address diverges from the affine model, so the pointer must
+        # not decompose.
+        fn = _fn(r"""
+        int f(int *a) {
+            int s = 0;
+            for (int i = 0; i < 16; i++) s = s + a[i * 268435456];
+            return s;
+        }""", "f")
+        [(counted, domtree)] = _counted_loops(fn)
+        loads = [t for b in counted.loop.block_order
+                 for t in b.instructions if t.opcode == "load"]
+        assert affine_pointer(loads[0].pointer, counted.iv,
+                              counted.preheader.terminator, domtree,
+                              counted.iv_range()) is None
+
+    def test_narrow_mul_in_range_accepted(self):
+        # The same shape with a harmless factor still decomposes.
+        fn = _fn(r"""
+        int f(int *a) {
+            int s = 0;
+            for (int i = 0; i < 16; i++) s = s + a[i * 4];
+            return s;
+        }""", "f")
+        [(counted, domtree)] = _counted_loops(fn)
+        loads = [t for b in counted.loop.block_order
+                 for t in b.instructions if t.opcode == "load"]
+        aff = affine_pointer(loads[0].pointer, counted.iv,
+                             counted.preheader.terminator, domtree,
+                             counted.iv_range())
+        assert aff is not None and aff.slope == 16
+
+    def test_narrow_add_overflow_depends_on_iv_range(self):
+        # i + 2 fits i32 for small IV ranges but wraps when the range
+        # analysis cannot exclude IV values near INT_MAX.
+        mod = Module("t")
+        fn = mod.add_function("f", FunctionType(I32, [I32]), ["n"])
+        entry = fn.add_block("entry")
+        b = IRBuilder(entry)
+        i = b.phi(I32, "i")
+        t = b.add(i, b.const_i32(2))
+        b.ret(b.const_i32(0))
+        assert _affine_int(t, i, (0, 15)) == (1, 2)
+        assert _affine_int(t, i, (0, (1 << 31) - 2)) is None
+
+    def test_zext_requires_proven_nonnegative(self):
+        # zext of a negative i32 is not value-preserving: the i64
+        # index becomes a huge positive number while the model stays
+        # negative.  Only a range proof of non-negativity admits it.
+        mod = Module("t")
+        fn = mod.add_function("f", FunctionType(I32, [I32]), ["n"])
+        entry = fn.add_block("entry")
+        b = IRBuilder(entry)
+        i = b.phi(I32, "i")
+        t = b.sub(i, b.const_i32(1))
+        z = b.zext(t, I64)
+        s = b.sext(t, I64)
+        b.ret(b.const_i32(0))
+        assert _affine_int(z, i, (0, 15)) is None      # i=0 -> -1
+        assert _affine_int(z, i, (1, 15)) == (1, -1)   # proven >= 0
+        assert _affine_int(s, i, (0, 15)) == (1, -1)   # sext always ok
+
+    def test_shl_wider_than_type_rejected(self):
+        # The VM shifts by rhs % bits, so an i32 shl by 32+ means
+        # something else entirely.
+        mod = Module("t")
+        fn = mod.add_function("f", FunctionType(I32, [I32]), ["n"])
+        entry = fn.add_block("entry")
+        b = IRBuilder(entry)
+        i = b.phi(I32, "i")
+        good = b.shl(i, b.const_i32(2))
+        bad = b.shl(i, b.const_i32(32))
+        b.ret(b.const_i32(0))
+        assert _affine_int(good, i, (0, 15)) == (4, 0)
+        assert _affine_int(bad, i, (0, 15)) is None
+
+    def test_iv_increment_that_wraps_rejected(self):
+        # i <= INT_MAX never exits: the increment wraps and the IV
+        # stays <= bound forever.  The recognizer must refuse it.
+        fn = _fn(r"""
+        int f(int *a) {
+            int s = 0;
+            for (int i = 0; i <= 2147483647; i++) s = s + a[0];
+            return s;
+        }""", "f")
+        assert _counted_loops(fn) == []
+
+
+# ---------------------------------------------------------------------
+# Termination prover: ne-predicate subloops need an init <= bound
+# proof (REVIEW regression).
+# ---------------------------------------------------------------------
+
+
+class TestTerminationProver:
+    def test_ne_subloop_without_init_proof_rejects_outer(self):
+        # j starts at a runtime value: j > 7 would spin ~2**32
+        # iterations before the wrapped IV comes back to the bound, so
+        # the subloop has no termination proof and the outer loop must
+        # not be counted (hoisting from it could abort a run the
+        # baseline never completes).
+        fn = _fn(r"""
+        int f(int *a, int n) {
+            int s = 0;
+            for (int i = 0; i < 4; i++) {
+                int j = n;
+                while (j != 7) { s = s + a[0]; j = j + 1; }
+                s = s + a[i];
+            }
+            return s;
+        }""", "f")
+        counted = _counted_loops(fn)
+        assert all(c.loop.depth != 1 for c, _ in counted)
+
+    def test_ne_subloop_with_proven_init_accepted(self):
+        # With a constant init at or below the bound, step-1 ne hits
+        # the bound exactly: the subloop terminates and the outer loop
+        # is counted again.
+        fn = _fn(r"""
+        int f(int *a) {
+            int s = 0;
+            for (int i = 0; i < 4; i++) {
+                int j = 0;
+                while (j != 7) { s = s + a[0]; j = j + 1; }
+                s = s + a[i];
+            }
+            return s;
+        }""", "f")
+        counted = _counted_loops(fn)
+        assert any(c.loop.depth == 1 for c, _ in counted)
+
+
+# ---------------------------------------------------------------------
+# Header-resident accesses: the header runs trip_count + 1 times, so
+# its hull is one step wider (REVIEW regression).
+# ---------------------------------------------------------------------
+
+
+def _rotated_loop_fn(bound):
+    """A compare-on-phi single-block loop: the store runs once per
+    header entry, including the final one with iv == bound."""
+    mod = Module("rot")
+    fn = mod.add_function("f", FunctionType(I32, [PointerType(I32)]), ["p"])
+    entry = fn.add_block("entry")
+    loop = fn.add_block("loop")
+    exit_ = fn.add_block("exit")
+    b = IRBuilder(entry)
+    b.br(loop)
+    b.position_at_end(loop)
+    i = b.phi(I32, "i")
+    idx = b.sext(i, I64)
+    slot = b.gep(fn.args[0], [idx], "slot")
+    b.store(i, slot)
+    inext = b.add(i, b.const_i32(1), "inext")
+    cmp = b.icmp("slt", i, b.const_i32(bound), "cmp")
+    b.cond_br(cmp, loop, exit_)
+    i.add_incoming(b.const_i32(0), entry)
+    i.add_incoming(inext, loop)
+    b.position_at_end(exit_)
+    b.ret(b.const_i32(0))
+    return fn
+
+
+class TestHeaderResidentHull:
+    def test_single_block_loop_recognized(self):
+        fn = _rotated_loop_fn(8)
+        [(counted, _)] = _counted_loops(fn)
+        assert counted.loop.header is counted.latch
+        assert counted.static_last == 7
+        assert counted.iv_range() == (0, 7)
+        # The header also executes with iv == last + step == 8.
+        assert counted.iv_range(header_resident=True) == (0, 8)
+
+    def test_header_extent_one_step_wider(self):
+        fn = _rotated_loop_fn(8)
+        [(counted, domtree)] = _counted_loops(fn)
+        store = next(t for t in counted.loop.header.instructions
+                     if t.opcode == "store")
+        aff = affine_pointer(store.pointer, counted.iv,
+                             counted.preheader.terminator, domtree,
+                             counted.iv_range(header_resident=True))
+        assert aff is not None and aff.slope == 4 and aff.intercept == 0
+        # Body hull would be bytes [0, 32); the header access also
+        # touches a[8], bytes 32..36.
+        assert extent_bytes(aff, counted, 4) == (0, 32)
+        assert extent_bytes(aff, counted, 4, header_resident=True) == (0, 36)

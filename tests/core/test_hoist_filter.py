@@ -10,8 +10,19 @@ while the number of *executed* dynamic checks only shrinks.
 
 import pytest
 
-from repro.core import InstrumentationConfig
+from repro.core import InstrumentationConfig, MemInstrumentPass
 from repro.driver import CompileOptions, compile_program, run_program
+from repro.errors import MemSafetyViolation
+from repro.ir import (
+    ArrayType,
+    FunctionType,
+    I32,
+    I64,
+    IRBuilder,
+    Module,
+)
+from repro.softbound import SoftBoundRuntime
+from repro.vm import VirtualMachine
 
 # Unknown-size allocation (size depends on a mutable global, so the
 # range filter cannot prove the accesses safe) iterated by counted
@@ -205,6 +216,156 @@ class TestHoistCorpusDifferential:
 
         for case in corpus_by_name().values():
             self._check_case(case, "lowfat")
+
+
+class TestRotatedLoopHoist:
+    """REVIEW regression: a compare-on-phi single-block loop
+    (``do { a[i] } while (i < bound)``) keeps its store in the loop
+    *header*, which executes trip_count + 1 times -- the final entry
+    accesses ``a[bound]`` before the exit test fails.  The hoisted
+    hull must cover that extra step: an OOB at ``iv == last + step``
+    that the baseline catches must still abort, and the valid variant
+    must stay byte-identical."""
+
+    @staticmethod
+    def _rotated_main(n_elems, bound):
+        mod = Module("rot")
+        fn = mod.add_function("main", FunctionType(I32, []), [])
+        entry = fn.add_block("entry")
+        loop = fn.add_block("loop")
+        exit_ = fn.add_block("exit")
+        b = IRBuilder(entry)
+        buf = b.alloca(ArrayType(I32, n_elems), name="buf")
+        base = b.gep(buf, [b.const_i64(0), b.const_i64(0)], "base")
+        b.br(loop)
+        b.position_at_end(loop)
+        i = b.phi(I32, "i")
+        idx = b.sext(i, I64)
+        slot = b.gep(base, [idx], "slot")
+        b.store(i, slot)
+        inext = b.add(i, b.const_i32(1), "inext")
+        cmp = b.icmp("slt", i, b.const_i32(bound), "cmp")
+        b.cond_br(cmp, loop, exit_)
+        i.add_incoming(b.const_i32(0), entry)
+        i.add_incoming(inext, loop)
+        b.position_at_end(exit_)
+        b.ret(b.const_i32(0))
+        return mod
+
+    @staticmethod
+    def _dynamic_rotated_main(n_elems, bound):
+        # Same loop, but the bound is loaded from a mutable global
+        # behind an ``n > 0`` guard: the hull must be synthesized from
+        # the *runtime* bound (plus the header's extra step).
+        from repro.ir import ConstantInt
+
+        mod = Module("rotdyn")
+        mod.add_global("N", I32, ConstantInt(I32, bound))
+        fn = mod.add_function("main", FunctionType(I32, []), [])
+        entry = fn.add_block("entry")
+        pre = fn.add_block("pre")
+        loop = fn.add_block("loop")
+        exit_ = fn.add_block("exit")
+        b = IRBuilder(entry)
+        buf = b.alloca(ArrayType(I32, n_elems), name="buf")
+        base = b.gep(buf, [b.const_i64(0), b.const_i64(0)], "base")
+        n = b.load(mod.get_global("N"), "n")
+        guard = b.icmp("sgt", n, b.const_i32(0), "guard")
+        b.cond_br(guard, pre, exit_)
+        b.position_at_end(pre)
+        b.br(loop)
+        b.position_at_end(loop)
+        i = b.phi(I32, "i")
+        idx = b.sext(i, I64)
+        slot = b.gep(base, [idx], "slot")
+        b.store(i, slot)
+        inext = b.add(i, b.const_i32(1), "inext")
+        cmp = b.icmp("slt", i, n, "cmp")
+        b.cond_br(cmp, loop, exit_)
+        i.add_incoming(b.const_i32(0), pre)
+        i.add_incoming(inext, loop)
+        b.position_at_end(exit_)
+        b.ret(b.const_i32(0))
+        return mod
+
+    @staticmethod
+    def _instrument(mod, hoist, collect_verdicts=False):
+        config = InstrumentationConfig.softbound()
+        if hoist:
+            config = config.with_(opt_hoist=True)
+        pass_ = MemInstrumentPass(config, verify=True,
+                                  collect_verdicts=collect_verdicts)
+        pass_.run(mod)
+        return pass_
+
+    @staticmethod
+    def _run(mod, engine):
+        vm = VirtualMachine(mod, max_instructions=1_000_000, engine=engine)
+        SoftBoundRuntime().install(vm)
+        try:
+            code = vm.run()
+            return code, None, vm.stats
+        except MemSafetyViolation as violation:
+            return None, violation, vm.stats
+
+    @pytest.mark.parametrize("engine", ["compiled", "interp"])
+    def test_final_entry_oob_still_detected(self, engine):
+        # 8 elements, bound 8: the final header entry stores a[8].
+        base_mod = self._rotated_main(8, 8)
+        hoist_mod = self._rotated_main(8, 8)
+        self._instrument(base_mod, hoist=False)
+        hoist_pass = self._instrument(hoist_mod, hoist=True)
+        # The header check must still be hoisted (with a widened hull),
+        # not silently dropped or left behind.
+        assert hoist_pass.statistics.hoisted_checks >= 1
+        _, base_violation, _ = self._run(base_mod, engine)
+        _, hoist_violation, _ = self._run(hoist_mod, engine)
+        assert base_violation is not None
+        assert hoist_violation is not None
+
+    @pytest.mark.parametrize("engine", ["compiled", "interp"])
+    def test_valid_variant_identical_and_cheaper(self, engine):
+        # 9 elements, bound 8: accesses a[0..8] are all in bounds.
+        base_mod = self._rotated_main(9, 8)
+        hoist_mod = self._rotated_main(9, 8)
+        self._instrument(base_mod, hoist=False)
+        self._instrument(hoist_mod, hoist=True)
+        base_code, base_violation, base_stats = self._run(base_mod, engine)
+        hoist_code, hoist_violation, hoist_stats = self._run(
+            hoist_mod, engine)
+        assert base_violation is None and hoist_violation is None
+        assert base_code == hoist_code == 0
+        assert hoist_stats.checks_executed < base_stats.checks_executed
+
+    @pytest.mark.parametrize("n_elems,bound,expect_violation",
+                             [(8, 8, True), (9, 8, False)])
+    def test_runtime_bound_header_hull(self, n_elems, bound,
+                                       expect_violation):
+        # The dynamic-bound path synthesizes last-IV arithmetic in the
+        # preheader; header residency must add one step there too.
+        base_mod = self._dynamic_rotated_main(n_elems, bound)
+        hoist_mod = self._dynamic_rotated_main(n_elems, bound)
+        self._instrument(base_mod, hoist=False)
+        hoist_pass = self._instrument(hoist_mod, hoist=True)
+        assert hoist_pass.statistics.hoisted_checks >= 1
+        _, base_violation, _ = self._run(base_mod, "compiled")
+        _, hoist_violation, _ = self._run(hoist_mod, "compiled")
+        assert (base_violation is not None) == expect_violation
+        assert (hoist_violation is not None) == expect_violation
+
+    def test_header_verdict_not_proven_safe(self):
+        # Before the header fix the loop-extent argument "proved" the
+        # 8-element variant safe -- while it provably violates on the
+        # final header entry.
+        oob = self._rotated_main(8, 8)
+        verdicts = self._instrument(
+            oob, hoist=True, collect_verdicts=True).check_verdicts
+        assert "proven-violating" in verdicts.values()
+        assert "proven-safe" not in verdicts.values()
+        ok = self._rotated_main(9, 8)
+        verdicts = self._instrument(
+            ok, hoist=True, collect_verdicts=True).check_verdicts
+        assert "proven-safe" in verdicts.values()
 
 
 class TestFilterChainMonotonicity:
