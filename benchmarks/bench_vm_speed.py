@@ -1,23 +1,28 @@
-"""Wall-clock engine benchmark: closure-compiled tier vs. tree-walker.
+"""Wall-clock engine benchmark: the three VM execution tiers.
 
-Times both VM execution engines on the bundled workloads, verifies the
-runs are bit-identical (output and full ``RuntimeStats``) while it is
-at it, and writes the results to ``BENCH_vm.json`` at the repo root --
-the seed of the repo's performance trajectory.  Future PRs regress-
-check against the recorded geomean.
+Times the selected VM execution engines (reference tree-walker,
+closure-compiled tier, generated-source codegen tier) on the bundled
+workloads, verifies the runs are bit-identical (output and full
+``RuntimeStats``) while it is at it, and writes the results to
+``BENCH_vm.json`` at the repo root -- the repo's performance
+trajectory.  Future PRs regress-check against the recorded geomeans.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_vm_speed.py
     PYTHONPATH=src python benchmarks/bench_vm_speed.py \
-        --workloads 164gzip,183equake,456hmmer --min-speedup 2
+        --engines interp,compiled,codegen \
+        --workloads 164gzip,183equake,456hmmer \
+        --min-speedup 2 --min-codegen-vs-compiled 1.5
 
-Exit status is non-zero when any run pair diverges or the geomean
-speedup falls below ``--min-speedup`` (CI's perf-smoke gate).
+Exit status is non-zero when any engine pair diverges, the
+compiled-vs-interp geomean falls below ``--min-speedup``, or the
+codegen-vs-compiled geomean falls below ``--min-codegen-vs-compiled``
+(CI's perf-smoke gates).
 
 Timing methodology: each engine is timed as min-of-N fresh VM runs over
-a once-compiled program (compilation excluded).  The compiled tier gets
-more repeats than the tree-walker because its runs are cheap and the
+a once-compiled program (compilation excluded).  The fast tiers get
+more repeats than the tree-walker because their runs are cheap and the
 minimum filters scheduler noise; the tree-walker is the expensive
 denominator, and the geomean across workloads averages its noise out.
 """
@@ -38,9 +43,13 @@ if str(REPO_ROOT / "src") not in sys.path:
 
 from repro.driver import CompileOptions, compile_program, run_program  # noqa: E402
 from repro.experiments.common import config_for  # noqa: E402
+from repro.vm.engines import ENGINES  # noqa: E402
 from repro.workloads import all_names, get  # noqa: E402
 
 MAX_INSTRUCTIONS = 100_000_000
+
+#: Three-engine default: the full tier ladder, slowest first.
+DEFAULT_ENGINES = "interp,compiled,codegen"
 
 
 def _compile(workload, label):
@@ -74,6 +83,13 @@ def _identical(a, b):
     return dataclasses.asdict(a.stats) == dataclasses.asdict(b.stats)
 
 
+def _geomean(values):
+    values = list(values)
+    if not values:
+        return None
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--workloads", default=None, metavar="NAME[,NAME...]",
@@ -82,16 +98,26 @@ def main(argv=None):
                         metavar="LABEL[,LABEL...]",
                         help="instrumentation configs to time "
                              "(default: baseline, the pure engine measure)")
+    parser.add_argument("--engines", default=DEFAULT_ENGINES,
+                        metavar="ENGINE[,ENGINE...]",
+                        help="VM engines to time, slowest-first "
+                             f"(default: {DEFAULT_ENGINES}); the first "
+                             "is the identity reference")
     parser.add_argument("--output", default=str(REPO_ROOT / "BENCH_vm.json"),
                         metavar="FILE", help="result file (default: "
                         "BENCH_vm.json at the repo root)")
     parser.add_argument("--repeats", type=int, default=3, metavar="N",
-                        help="timing repeats for the compiled tier "
+                        help="timing repeats for the fast tiers "
                              "(min-of-N; default 3)")
     parser.add_argument("--interp-repeats", type=int, default=1, metavar="N",
                         help="timing repeats for the tree-walker (default 1)")
     parser.add_argument("--min-speedup", type=float, default=None, metavar="X",
-                        help="fail (exit 1) if the geomean speedup is below X")
+                        help="fail (exit 1) if the compiled-vs-interp "
+                             "geomean speedup is below X")
+    parser.add_argument("--min-codegen-vs-compiled", type=float, default=None,
+                        metavar="X",
+                        help="fail (exit 1) if the codegen-vs-compiled "
+                             "geomean speedup is below X")
     args = parser.parse_args(argv)
 
     known = list(all_names())
@@ -101,6 +127,13 @@ def main(argv=None):
     if unknown:
         parser.error(f"unknown workload(s): {', '.join(unknown)}")
     labels = [l.strip() for l in args.labels.split(",") if l.strip()]
+    engines = [e.strip() for e in args.engines.split(",") if e.strip()]
+    bad = [e for e in engines if e not in ENGINES]
+    if bad:
+        parser.error(f"unknown engine(s): {', '.join(bad)} "
+                     f"(known: {', '.join(ENGINES)})")
+    if len(engines) < 2:
+        parser.error("need at least two engines to compare")
 
     rows = []
     mismatches = 0
@@ -108,54 +141,86 @@ def main(argv=None):
         workload = get(name)
         for label in labels:
             program = _compile(workload, label)
-            t_interp, r_interp = _time_engine(
-                program, "interp", args.interp_repeats)
-            t_compiled, r_compiled = _time_engine(
-                program, "compiled", args.repeats)
-            same = _identical(r_interp, r_compiled)
+            times = {}
+            results = {}
+            for engine in engines:
+                repeats = (args.interp_repeats if engine == "interp"
+                           else args.repeats)
+                times[engine], results[engine] = _time_engine(
+                    program, engine, repeats)
+            reference = engines[0]
+            same = all(_identical(results[reference], results[e])
+                       for e in engines[1:])
             if not same:
                 mismatches += 1
-            speedup = t_interp / t_compiled if t_compiled else math.inf
-            rows.append({
-                "workload": name,
-                "label": label,
-                "interp_s": round(t_interp, 4),
-                "compiled_s": round(t_compiled, 4),
-                "speedup": round(speedup, 2),
-                "identical": same,
-            })
+            row = {"workload": name, "label": label, "identical": same}
+            for engine in engines:
+                row[f"{engine}_s"] = round(times[engine], 4)
+            # Pairwise speedups vs. the slowest-first reference plus the
+            # tier-over-tier step, matching the geomeans below.
+            for engine in engines[1:]:
+                row[f"speedup_{engine}_vs_{reference}"] = round(
+                    times[reference] / times[engine], 2
+                ) if times[engine] else math.inf
+            if "compiled" in times and "codegen" in times:
+                row["speedup_codegen_vs_compiled"] = round(
+                    times["compiled"] / times["codegen"], 2
+                ) if times["codegen"] else math.inf
+            rows.append(row)
             flag = "" if same else "  << STATS MISMATCH"
-            print(f"{name:12s} {label:10s} interp={t_interp:7.2f}s "
-                  f"compiled={t_compiled:6.2f}s speedup={speedup:5.2f}x{flag}",
-                  flush=True)
+            cells = " ".join(f"{e}={times[e]:7.2f}s" for e in engines)
+            print(f"{name:12s} {label:10s} {cells}{flag}", flush=True)
 
-    geomean = math.exp(sum(math.log(r["speedup"]) for r in rows) / len(rows))
-    print(f"{'GEOMEAN':12s} {'':10s} {'':>15s} {'':>15s} "
-          f"speedup={geomean:5.2f}x")
+    geomeans = {}
+    reference = engines[0]
+    for engine in engines[1:]:
+        key = f"speedup_{engine}_vs_{reference}"
+        geomeans[f"{engine}_vs_{reference}"] = round(
+            _geomean(r[key] for r in rows if key in r), 2)
+    if "compiled" in engines and "codegen" in engines:
+        geomeans["codegen_vs_compiled"] = round(
+            _geomean(r["speedup_codegen_vs_compiled"] for r in rows), 2)
+    for pair, value in geomeans.items():
+        print(f"{'GEOMEAN':12s} {pair:28s} {value:5.2f}x")
 
     document = {
         "benchmark": "vm-engine-speedup",
-        "description": "closure-compiled tier vs. reference tree-walker, "
-                       "min-of-N wall-clock per fresh VM run",
+        "description": "VM execution tiers (tree-walker / closure tier / "
+                       "codegen tier), min-of-N wall-clock per fresh VM run",
         "max_instructions": MAX_INSTRUCTIONS,
-        "repeats": {"compiled": args.repeats, "interp": args.interp_repeats},
+        "engines": engines,
+        "repeats": {e: (args.interp_repeats if e == "interp"
+                        else args.repeats) for e in engines},
         "python": sys.version.split()[0],
         "results": rows,
-        "geomean_speedup": round(geomean, 2),
+        "geomeans": geomeans,
     }
+    # Back-compat top-level field: the PR-3 trajectory point is the
+    # compiled-vs-interp geomean; keep the key meaning stable.
+    if "compiled_vs_interp" in geomeans:
+        document["geomean_speedup"] = geomeans["compiled_vs_interp"]
     with open(args.output, "w", encoding="utf-8") as handle:
         json.dump(document, handle, indent=2)
         handle.write("\n")
     print(f"written to {args.output}")
 
     if mismatches:
-        print(f"error: {mismatches} run pair(s) diverged between engines",
+        print(f"error: {mismatches} run set(s) diverged between engines",
               file=sys.stderr)
         return 1
-    if args.min_speedup is not None and geomean < args.min_speedup:
-        print(f"error: geomean speedup {geomean:.2f}x is below the "
-              f"required {args.min_speedup:g}x", file=sys.stderr)
-        return 1
+    if args.min_speedup is not None:
+        got = geomeans.get("compiled_vs_interp")
+        if got is None or got < args.min_speedup:
+            print(f"error: compiled-vs-interp geomean {got} is below the "
+                  f"required {args.min_speedup:g}x", file=sys.stderr)
+            return 1
+    if args.min_codegen_vs_compiled is not None:
+        got = geomeans.get("codegen_vs_compiled")
+        if got is None or got < args.min_codegen_vs_compiled:
+            print(f"error: codegen-vs-compiled geomean {got} is below the "
+                  f"required {args.min_codegen_vs_compiled:g}x",
+                  file=sys.stderr)
+            return 1
     return 0
 
 

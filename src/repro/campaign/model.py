@@ -30,6 +30,7 @@ from ..core.config import InstrumentationConfig, MODES
 from ..core.mechanism import get_mechanism, mechanism_names
 from ..errors import ConfigError
 from ..experiments.runner import JobRequest
+from ..vm.engines import ENGINES
 from ..workloads import Workload
 
 #: Check-filter selections an instance may request.  ``ranges`` is
@@ -47,14 +48,11 @@ FILTER_SETS: Dict[str, Tuple[str, ...]] = {
     "hoist": ("dominance", "ranges", "hoist"),
 }
 
-_ENGINES = ("compiled", "interp")
-
-
 def _check_engine(engine: str) -> str:
-    if engine not in _ENGINES:
+    if engine not in ENGINES:
         raise ConfigError(
             f"unknown VM engine {engine!r} (expected one of "
-            f"{', '.join(_ENGINES)})")
+            f"{', '.join(ENGINES)})")
     return engine
 
 

@@ -116,6 +116,11 @@ def _build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--max-instructions", type=int, default=500_000_000)
     run_p.add_argument("--stats", action="store_true",
                        help="print the runtime statistics summary")
+    run_p.add_argument("--dump-codegen", default=None, metavar="DIR",
+                       help="with --engine codegen: write the generated "
+                            "Python source of every compiled function "
+                            "into DIR (numbered, IR block names as "
+                            "comments)")
 
     emit_p = sub.add_parser("emit", parents=[vm_parent],
                             help="print the final (instrumented) IR")
@@ -166,10 +171,15 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="corpus seed (default: 0)")
     fuzz_p.add_argument("--count", type=int, default=100,
                         help="number of generated programs (default: 100)")
-    fuzz_p.add_argument("--matrix", choices=("full", "quick"),
-                        default="full",
-                        help="full: 7 configs x both VM engines; "
-                             "quick: 3 configs, compiled engine only")
+    from .fuzz import MATRICES
+
+    matrix_help = "; ".join(
+        f"{m.name}: {len(m.labels)} configs x "
+        + (f"{len(m.engines)} VM engines" if len(m.engines) > 1
+           else f"{m.engines[0]} engine only")
+        for m in MATRICES.values())
+    fuzz_p.add_argument("--matrix", choices=tuple(MATRICES),
+                        default="full", help=matrix_help)
     fuzz_p.add_argument("--minimize", action="store_true",
                         help="delta-debug each mismatching program to a "
                              "minimal reproducer")
@@ -689,7 +699,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             )
             result = run_program(program, entry=args.entry,
                                  max_instructions=args.max_instructions,
-                                 engine=args.engine)
+                                 engine=args.engine,
+                                 dump_codegen=args.dump_codegen)
             for line in result.output:
                 print(line)
             if not result.ok:

@@ -175,12 +175,15 @@ def make_vm(
     lf_region_capacity: Optional[int] = None,
     engine: str = "compiled",
     profile: bool = False,
+    dump_codegen: Optional[str] = None,
 ) -> VirtualMachine:
     """Create a VM with the runtime matching the program's config."""
     vm = VirtualMachine(
         program.module, max_instructions=max_instructions, engine=engine,
         profile=profile,
     )
+    if dump_codegen is not None:
+        vm.codegen_dump_dir = dump_codegen
     # The registry knows which runtime (if any) the approach's
     # instrumented code calls into.
     install_runtime(vm, program.config, lf_region_capacity=lf_region_capacity)
@@ -194,11 +197,12 @@ def run_program(
     lf_region_capacity: Optional[int] = None,
     engine: str = "compiled",
     profile: bool = False,
+    dump_codegen: Optional[str] = None,
 ) -> RunResult:
     """Run a compiled program, capturing safety reports and faults."""
     vm = make_vm(
         program, max_instructions, lf_region_capacity, engine=engine,
-        profile=profile,
+        profile=profile, dump_codegen=dump_codegen,
     )
     result = RunResult(None, vm.output, vm.stats)
     try:

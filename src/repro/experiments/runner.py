@@ -449,13 +449,13 @@ def add_cache_arguments(parser) -> None:
 
 def add_vm_engine_argument(parser) -> None:
     """``--engine`` (the VM execution tier)."""
-    from ..vm.interpreter import ENGINES
+    from ..vm.engines import ENGINE_DESCRIPTIONS, ENGINES
 
+    tiers = "; ".join(f"'{name}' is the {desc}"
+                      for name, desc in ENGINE_DESCRIPTIONS.items())
     parser.add_argument(
         "--engine", default="compiled", choices=ENGINES,
-        help="VM execution engine: 'compiled' is the closure-compiled "
-             "tier (default), 'interp' the slow reference tree-walker; "
-             "results are bit-identical")
+        help=f"VM execution engine: {tiers}; results are bit-identical")
 
 
 def add_engine_arguments(parser) -> None:

@@ -16,9 +16,10 @@ results five ways:
     (output lines, exit status, or a spurious violation/fault) -- the
     transparency property the paper's evaluation rests on;
 ``engine-divergence``
-    the closure-compiled tier and the reference tree-walker disagree on
-    any observable *or any counter* for the same cell (the two tiers
-    are bit-identical by contract);
+    any registered execution tier (closure-compiled, reference
+    tree-walker, source-codegen) disagrees with the first engine on
+    any observable *or any counter* for the same cell (all tiers are
+    bit-identical by contract);
 ``filter-invariant``
     check-elimination filters broke a counting invariant: dynamic
     checks must satisfy ranges <= dominance <= unfiltered for each
@@ -36,6 +37,7 @@ from ..errors import ConfigError
 from ..experiments.cache import ResultCache
 from ..experiments.common import BenchResult
 from ..experiments.runner import ExperimentEngine, JobRequest
+from ..vm.engines import ENGINES
 from ..workloads import Workload
 from .generator import CoverageReport, GeneratedProgram
 
@@ -104,7 +106,7 @@ FULL_MATRIX = Matrix.from_instances("full", standard_instances(
     ("baseline",
      "softbound-unopt", "softbound", "softbound-ranges", "softbound-hoist",
      "lowfat-unopt", "lowfat", "lowfat-ranges", "lowfat-hoist"),
-    engines=("compiled", "interp"),
+    engines=ENGINES,
 ))
 
 QUICK_MATRIX = Matrix.from_instances("quick", standard_instances(

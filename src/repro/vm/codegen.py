@@ -1,0 +1,1457 @@
+"""Source-generation tier of the VM (``--engine codegen``).
+
+Third execution tier, one step past the closure tier in
+:mod:`.compile`: each IR function is translated *once* into a single
+Python source string and ``exec``-ed, so hot code runs as real
+compiled bytecode over real local variables instead of lists of
+closures over frame-slot lists:
+
+* SSA values live in plain locals ``v<slot>`` (``LOAD_FAST``) instead
+  of ``frame[slot]`` list indexing;
+* basic blocks dispatch through a ``while True`` loop over an
+  ``if __b == <idx>: ... elif`` jump table on the block index;
+  single-predecessor blocks are inlined at their unique branch site
+  (superblock formation), so straight-line runs and simple loops
+  execute without any dispatch at all;
+* phi moves become per-edge tuple assignments
+  (``v3, v7 = <e1>, <e2>``), which are parallel by construction;
+* icmp/fcmp/binops/casts/GEPs are inlined as expressions, with
+  branch-free sign correction (``(x ^ half) - half``) instead of
+  per-value ``if`` closures, and single-use pure values fused
+  textually into their consumer;
+* loads/stores keep the closure tier's per-site inline cache, as
+  module-level cache variables validated against ``Memory.epoch``;
+* cycle/opcode charges are block-batched into plain *local*
+  accumulators (``__cy``, ``__o_<opcode>``, ...) flushed once per
+  frame by a zero-cost ``try/finally``; only the absolute instruction
+  count ``__ins`` is published to ``RuntimeStats`` eagerly -- before
+  every call (callees check the budget against it) and at frame exit.
+  Raising statements keep the closure tier's static rollback: a
+  ``try/except`` subtracts the not-yet-executed suffix of the block
+  from the accumulators before re-raising, and call statements resync
+  ``__ins`` from the callee's exactly-published count.
+
+The statistics contract is identical to :mod:`.compile` (see its
+docstring): field-for-field :class:`RuntimeStats` equality with the
+tree-walker at every observable point, including the instant a
+``MemoryFault``/exit escapes.  Fusion and inlining decisions only move
+*when* a pure expression is computed, never what is charged, so this
+tier may fuse differently (e.g. depth-capped) without observable
+effect.  Operands that evaluate a function address or unloaded global
+(``"f"`` descriptors) are never fused or folded, exactly like the
+closure tier, because their evaluation order is program-visible.
+
+Per-function source and code objects are cached on the
+:class:`Function` itself (``fn._codegen_cache``): the emitter runs per
+VM (bindings like native impls and global addresses are per-VM), but
+when the generated source is unchanged the expensive ``compile()``
+call is skipped and only a fresh namespace is ``exec``-ed.
+
+Profiling (``profile=True``) needs per-site cycle attribution that
+block-batching cannot provide without the closure tier's specialized
+batches; the VM transparently falls back to the closure tier in that
+case and records the reason (see ``VirtualMachine.call_function``).
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import os
+import re
+import struct
+from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
+
+from ..errors import MemoryFault, VMError
+from ..ir.instructions import (
+    Alloca,
+    BinOp,
+    Br,
+    Call,
+    Cast,
+    CondBr,
+    FCMP_EVAL,
+    FCmp,
+    GEP,
+    ICmp,
+    Instruction,
+    Load,
+    Phi,
+    Ret,
+    Select,
+    Store,
+    Unreachable,
+)
+from ..ir.module import BasicBlock, Function, GlobalVariable
+from ..ir.types import (
+    ArrayType,
+    FloatType,
+    IntType,
+    PointerType,
+    StructType,
+    VoidType,
+    size_of,
+    struct_field_offset,
+)
+from ..ir.values import (
+    Argument,
+    ConstantFloat,
+    ConstantInt,
+    ConstantNull,
+    ConstantZero,
+    UndefValue,
+    Value,
+)
+from . import costs
+from .compile import _DIV_OPS, _PURE_CASTS, _FunctionCompiler
+from .memory import SparsePages
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .interpreter import VirtualMachine
+
+U64_MASK = (1 << 64) - 1
+
+#: Cap on textual fusion depth: bounds parenthesis nesting so the
+#: CPython parser never sees pathologically deep expressions.  Fusion
+#: depth is unobservable in RuntimeStats, so capping is always safe.
+_MAX_FUSE_DEPTH = 24
+
+#: Cap on single-predecessor block inlining depth (bounds source
+#: indentation; blocks past the cap get a dispatch label instead).
+_MAX_INLINE_DEPTH = 36
+
+_BUDGET_CHECK = "if __ins > __maxi:"
+_BUDGET_RAISE = (
+    '    raise __VMError("instruction budget exceeded (infinite loop?)")')
+
+_ICMP_SYM = {
+    "eq": "==", "ne": "!=",
+    "ult": "<", "ule": "<=", "ugt": ">", "uge": ">=",
+    "slt": "<", "sle": "<=", "sgt": ">", "sge": ">=",
+}
+_ICMP_SIGNED = frozenset(("slt", "sle", "sgt", "sge"))
+
+#: fcmp predicates whose NaN behaviour Python operators reproduce
+#: directly: ordered comparisons are False on NaN (as every Python
+#: comparison is), ``une`` is unordered-or-ne and ``!=`` is True on
+#: NaN.  The remaining eight go through the shared FCMP_EVAL table.
+_FCMP_SYM = {
+    "oeq": "==", "ogt": ">", "oge": ">=", "olt": "<", "ole": "<=",
+    "une": "!=",
+}
+
+
+def _env_signature(vm: "VirtualMachine") -> Tuple:
+    """Everything the emitter consults on the VM that can change the
+    *generated source or bindings*: loaded-global addresses (constant
+    folding + getter shape) and native implementations (inline-charge
+    shape + bound impl identity).  Two VMs with equal signatures get
+    byte-identical source and may share the cached emission."""
+    return (
+        tuple((id(g), a) for g, a in vm.global_addresses.items()),
+        tuple((n, id(f)) for n, f in vm.natives.items()),
+    )
+
+
+def _as_condition(expr: str) -> str:
+    """Truthiness form of a generated expression.
+
+    The icmp/fcmp inliners emit exactly ``(1 if C else 0)`` (fixed
+    6-char prefix / 8-char suffix, and no other expression shape starts
+    with the prefix), whose truthiness equals ``C``'s -- stripping the
+    wrapper saves an int construction and a re-test per evaluation in
+    boolean contexts (condbr, select)."""
+    if expr.startswith("(1 if ") and expr.endswith(" else 0)"):
+        return expr[6:-8]
+    return expr
+
+
+def _is_flag_expr(desc: Tuple) -> bool:
+    """True for a fused pure expression of the ``(1 if C else 0)``
+    shape (an inlined icmp/fcmp, possibly forwarded through zext)."""
+    return (desc[0] == "p" and desc[1].startswith("(1 if ")
+            and desc[1].endswith(" else 0)"))
+
+
+def _raiser0(exc: Exception):
+    """Zero-argument raiser usable inside a generated expression."""
+
+    def step():
+        raise exc
+
+    return step
+
+
+def _global_getter(vm: "VirtualMachine", value: GlobalVariable):
+    def getter():
+        try:
+            return vm.global_addresses[value]
+        except KeyError:
+            raise VMError(f"global @{value.name} not loaded") from None
+
+    return getter
+
+
+class CodegenFunction:
+    """One IR function translated to generated Python source, bound to
+    one VM.  ``execute`` mirrors ``CompiledFunction.execute``
+    (argument padding/truncation included)."""
+
+    __slots__ = ("vm", "fn", "arg_count", "source", "_run")
+
+    def __init__(self, vm: "VirtualMachine", fn: Function, index: int = 0):
+        self.vm = vm
+        self.fn = fn
+        self.arg_count = len(fn.args)
+        # Emission is cached on the Function keyed by the VM-environment
+        # signature: a fresh VM over the same program (the common case
+        # -- benchmarks, differential runs, fuzz cells) skips the whole
+        # emitter and re-binds only the per-VM namespace entries.
+        sig = _env_signature(vm)
+        cached = getattr(fn, "_codegen_cache", None)
+        if cached is not None and cached[0] == sig:
+            _, source, code, template, vm_binds, nsite = cached
+            # The template was snapshotted before exec ever ran, so the
+            # per-site inline-cache variables it carries are already in
+            # their pristine initial state -- no reset loop needed.
+            ns = dict(template)
+            for name, gvar in vm_binds:
+                ns[name] = _global_getter(vm, gvar)
+            stats = vm.stats
+            ns.update(
+                __vm=vm, __stats=stats, __oc=stats.opcode_counts,
+                __mem=vm.memory, __locate=vm.memory.locate,
+                __bases=vm.memory._bases, __allocs=vm.memory._allocs,
+                __alloca=vm.stack.alloca, __call=vm.call_function,
+                __dc=vm._codegen_direct_call, __charge=stats.charge,
+                __fa=vm.function_address, __fba=vm._functions_by_address,
+            )
+        else:
+            emitter = _SourceEmitter(vm, fn)
+            source, ns = emitter.emit()
+            if cached is not None and cached[1] == source:
+                code = cached[2]
+            else:
+                code = compile(source, f"<codegen:{fn.name}>", "exec")
+            fn._codegen_cache = (sig, source, code, dict(ns),
+                                 emitter._vm_binds, emitter._nsite)
+        self.source = source
+        dump_dir = getattr(vm, "codegen_dump_dir", None)
+        if dump_dir:
+            self._dump(dump_dir, index)
+        exec(code, ns)
+        self._run = ns["__run"]
+
+    def _dump(self, dump_dir: str, index: int) -> None:
+        os.makedirs(dump_dir, exist_ok=True)
+        safe = re.sub(r"[^A-Za-z0-9_.-]", "_", self.fn.name)
+        path = os.path.join(dump_dir, f"{index:03d}_{safe}.py")
+        with open(path, "w") as fh:
+            fh.write(self.source)
+
+    def execute(self, args: List) -> Optional[object]:
+        n = self.arg_count
+        if len(args) == n:
+            return self._run(*args)
+        # Same semantics as the closure tier's zip over arg slots:
+        # extra arguments are dropped, missing ones read as None.
+        return self._run(*(list(args) + [None] * n)[:n])
+
+
+class _SourceEmitter:
+    """Builds the source string plus the exec namespace for one
+    function.
+
+    Operand descriptors mirror the closure tier: ``("s", slot)`` for
+    locals, ``("c", value)`` for compile-time constants, ``("p", expr,
+    depth)`` for fused pure expressions, ``("f", expr, depth)`` for
+    impure expressions (function addresses, unloaded globals,
+    undefined values) that must evaluate exactly where the tree-walker
+    would evaluate them.
+    """
+
+    def __init__(self, vm: "VirtualMachine", fn: Function):
+        self.vm = vm
+        self.fn = fn
+        self.slots: Dict[Value, int] = {}
+        self.uses: Dict[Value, int] = {}
+        self._nbind = 0
+        self._nsite = 0
+        self._globals: List[str] = []
+        #: (binding name, GlobalVariable) pairs whose bound getter
+        #: closes over the VM -- the only VM-dependent ``__k`` bindings,
+        #: rebuilt when a cached emission is reused by a fresh VM.
+        self._vm_binds: List[Tuple[str, GlobalVariable]] = []
+        stats = vm.stats
+        self.ns: Dict[str, object] = {
+            "__vm": vm,
+            "__stats": stats,
+            "__oc": stats.opcode_counts,
+            "__mem": vm.memory,
+            "__locate": vm.memory.locate,
+            # The allocation index lists are created once per Memory
+            # and only ever mutated in place, so binding them is safe;
+            # the inlined miss path bisects them directly.
+            "__br": bisect.bisect_right,
+            "__bases": vm.memory._bases,
+            "__allocs": vm.memory._allocs,
+            "__SP": SparsePages,
+            "__alloca": vm.stack.alloca,
+            "__call": vm.call_function,
+            "__dc": vm._codegen_direct_call,
+            "__charge": stats.charge,
+            "__fa": vm.function_address,
+            "__fba": vm._functions_by_address,
+            "__VMError": VMError,
+            "__MemoryFault": MemoryFault,
+            "__up": struct.unpack,
+            "__pk": struct.pack,
+            "__fb": int.from_bytes,
+            # Pre-bound Struct methods: no per-access format parsing,
+            # no intermediate bytes objects on the bytearray fast path.
+            "__ld2": struct.Struct("<H").unpack_from,
+            "__ld4": struct.Struct("<I").unpack_from,
+            "__ld8": struct.Struct("<Q").unpack_from,
+            "__st2": struct.Struct("<H").pack_into,
+            "__st4": struct.Struct("<I").pack_into,
+            "__st8": struct.Struct("<Q").pack_into,
+            "__lf4": struct.Struct("<f").unpack_from,
+            "__lf8": struct.Struct("<d").unpack_from,
+            "__sf4": struct.Struct("<f").pack_into,
+            "__sf8": struct.Struct("<d").pack_into,
+            "__fmod": math.fmod,
+            "__INF": float("inf"),
+            "__NAN": float("nan"),
+        }
+        # Per-block compile state.
+        self._pending: Dict[Value, Tuple] = {}
+        self._charges: List[Tuple[str, int, int, int]] = []
+        self._steps: List[Tuple[List[str], Optional[int], bool]] = []
+        # Function-wide deferred-charge accumulators: opcode -> local
+        # name (insertion-ordered, so generated source is stable).
+        self._acc_names: Dict[str, str] = {}
+        self._has_loads = False
+        self._has_stores = False
+
+    # -- driver --------------------------------------------------------
+    def emit(self) -> Tuple[str, Dict[str, object]]:
+        self._assign_slots()
+        self._analyze_cfg()
+        self.code: Dict[BasicBlock, Tuple[List[str], Tuple]] = {}
+        for block in self.fn.blocks:
+            if block in self.reachable:
+                self.code[block] = self._compile_block(block)
+        arms = self._layout()
+        source = self._assemble(arms)
+        return source, self.ns
+
+    def _assign_slots(self) -> None:
+        fn = self.fn
+        for arg in fn.args:
+            self.slots[arg] = len(self.slots)
+        uses = self.uses
+        for block in fn.blocks:
+            for inst in block.instructions:
+                if isinstance(inst, Call):
+                    if inst.type.is_first_class():
+                        self.slots[inst] = len(self.slots)
+                elif not isinstance(inst.type, VoidType):
+                    self.slots[inst] = len(self.slots)
+                for op in inst.operands:
+                    if isinstance(op, Instruction):
+                        uses[op] = uses.get(op, 0) + 1
+
+    def _analyze_cfg(self) -> None:
+        fn = self.fn
+        term_insts: Dict[BasicBlock, Optional[Instruction]] = {}
+        for block in fn.blocks:
+            term_insts[block] = next(
+                (i for i in block.instructions
+                 if isinstance(i, (Br, CondBr, Ret))),
+                None,
+            )
+        self.term_insts = term_insts
+        entry = fn.entry
+        reachable = set()
+        work = [entry]
+        while work:
+            b = work.pop()
+            if b in reachable:
+                continue
+            reachable.add(b)
+            t = term_insts[b]
+            if isinstance(t, (Br, CondBr)):
+                for s in t.successors:
+                    if s not in reachable:
+                        work.append(s)
+        self.reachable = reachable
+        preds: Dict[BasicBlock, int] = {b: 0 for b in reachable}
+        for b in reachable:
+            t = term_insts[b]
+            if isinstance(t, (Br, CondBr)):
+                for s in t.successors:
+                    preds[s] += 1
+        self.block_index = {b: i for i, b in enumerate(fn.blocks)}
+        # Dispatch labels: the entry plus every join point.  Reachable
+        # single-predecessor blocks are inlined at their unique branch
+        # site instead (any single-pred cycle necessarily contains a
+        # labeled block, so inlining terminates).
+        self.labels = {entry}
+        for b in reachable:
+            if preds[b] >= 2:
+                self.labels.add(b)
+
+    # -- namespace bindings --------------------------------------------
+    def _bind(self, value) -> str:
+        name = f"__k{self._nbind}"
+        self._nbind += 1
+        self.ns[name] = value
+        return name
+
+    def _miss_lines(self, ca: str, cl: str, ch: str, ce: str,
+                    size: int, write: bool) -> List[str]:
+        """Inline-cache refill: an inlined ``Memory.locate`` fast path.
+
+        The bisect invariant (``__allocs[__i]`` has the largest base
+        <= the address) plus disjoint allocation ranges make the
+        covering allocation unique, so when the inline probe fails --
+        index below range, bounds exceeded, or freed -- ``__locate``
+        cannot succeed either and is called purely to raise the
+        precise :class:`MemoryFault` (null / use-after-free / straddle
+        / unmapped) the tree-walker would raise.  Skipping the
+        ``_hot`` update is fine: it is a pure cache.
+        """
+        return [
+            f"__i = __br(__bases, __p) - 1",
+            "if __i < 0:",
+            f"    __locate(__p, {size}, {write})",
+            f"{ca} = __allocs[__i]",
+            f"{cl} = {ca}.base",
+            f"{ch} = {cl} + {ca}.size - {size}",
+            f"if __p > {ch} or {ca}.freed:",
+            f"    {ca}, __o = __locate(__p, {size}, {write})",
+            f"    {cl} = {ca}.base",
+            f"    {ch} = {cl} + {ca}.size - {size}",
+            "else:",
+            f"    __o = __p - {cl}",
+            f"{ce} = __E",
+        ]
+
+    def _epoch_lines(self) -> List[str]:
+        """Refresh the block-local epoch copy ``__E`` if it may be
+        stale.  The epoch only moves when a live allocation is
+        unmapped, which generated code can only trigger through a call
+        step -- so one read per block (plus one after each call)
+        covers every access site in between."""
+        if self._epoch_fresh:
+            return []
+        self._epoch_fresh = True
+        return ["__E = __mem.epoch"]
+
+    def _cache_data_lines(self, ca: str, cd: str, cp: str) -> List[str]:
+        """Refill the per-site backing-storage caches after a miss."""
+        return [
+            f"__d = {ca}.data",
+            "__t = type(__d)",
+            f"{cd} = __d if __t is bytearray else None",
+            f"{cp} = __d._pages if __t is __SP else None",
+        ]
+
+    def _new_site(self) -> Tuple[str, str, str, str, str, str]:
+        """Fresh per-site inline-cache variables (module-level, so
+        they persist across calls like the closure cells do):
+        allocation, low bound, inclusive high bound (pre-adjusted by
+        the access size so the hit test is one chained comparison),
+        epoch stamp, the allocation's backing bytearray (None when it
+        is not one), and its SparsePages page dict (None when it is
+        not page-backed) -- the two backing caches select the direct
+        fast path for their storage kind."""
+        k = self._nsite
+        self._nsite += 1
+        names = (f"__ca{k}", f"__cl{k}", f"__ch{k}", f"__ce{k}",
+                 f"__cd{k}", f"__cp{k}")
+        self.ns[names[0]] = None
+        self.ns[names[1]] = 0
+        self.ns[names[2]] = -1
+        self.ns[names[3]] = -1
+        self.ns[names[4]] = None
+        self.ns[names[5]] = None
+        self._globals.extend(names)
+        return names
+
+    # -- operand resolution --------------------------------------------
+    def _operand(self, value: Value) -> Tuple:
+        pending = self._pending.pop(value, None)
+        if pending is not None:
+            return pending
+        if isinstance(value, (Instruction, Argument)):
+            slot = self.slots.get(value)
+            if slot is None:
+                name = self._bind(
+                    _raiser0(VMError(f"use of undefined value %{value.name}")))
+                return ("f", f"{name}()", 1)
+            return ("s", slot)
+        if isinstance(value, ConstantInt):
+            return ("c", value.value)
+        if isinstance(value, ConstantFloat):
+            return ("c", value.value)
+        if isinstance(value, (ConstantNull, ConstantZero, UndefValue)):
+            return ("c", 0.0 if isinstance(value.type, FloatType) else 0)
+        if isinstance(value, GlobalVariable):
+            address = self.vm.global_addresses.get(value)
+            if address is not None:
+                return ("c", address)
+            name = self._bind(_global_getter(self.vm, value))
+            self._vm_binds.append((name, value))
+            return ("f", f"{name}()", 1)
+        if isinstance(value, Function):
+            # Lazy, evaluation-order-preserving address assignment,
+            # exactly like the closure tier.
+            name = self._bind(value)
+            return ("f", f"__fa({name})", 1)
+        name = self._bind(_raiser0(VMError(f"cannot evaluate value {value!r}")))
+        return ("f", f"{name}()", 1)
+
+    def _expr(self, desc: Tuple) -> str:
+        kind = desc[0]
+        if kind == "s":
+            return f"v{desc[1]}"
+        if kind == "c":
+            return self._const_expr(desc[1])
+        return desc[1]
+
+    def _const_expr(self, v) -> str:
+        if isinstance(v, int):
+            return repr(v) if v >= 0 else f"({v!r})"
+        if isinstance(v, float):
+            if v != v or v in (float("inf"), float("-inf")):
+                return self._bind(v)
+            r = repr(v)
+            return f"({r})" if r.startswith("-") else r
+        return self._bind(v)
+
+    @staticmethod
+    def _depth(desc: Tuple) -> int:
+        return desc[2] if len(desc) > 2 else 0
+
+    @staticmethod
+    def _fusable(*descs: Tuple) -> bool:
+        return all(d[0] in ("s", "c", "p") for d in descs)
+
+    # -- step / charge bookkeeping -------------------------------------
+    def _charge(self, opcode: str, cycles: int,
+                loads: int = 0, stores: int = 0) -> None:
+        self._charges.append((opcode, cycles, loads, stores))
+
+    def _step(self, lines: List[str], raising: bool = False,
+              call: bool = False) -> None:
+        self._steps.append(
+            (lines, len(self._charges) if raising else None, call))
+
+    def _acc(self, opcode: str) -> str:
+        """Local accumulator name for a batch opcode (allocated
+        function-wide on first use)."""
+        name = self._acc_names.get(opcode)
+        if name is None:
+            name = self._acc_names[opcode] = f"__o_{opcode}"
+        return name
+
+    def _assign(self, inst: Instruction, desc: Tuple) -> None:
+        self._step([f"v{self.slots[inst]} = {self._expr(desc)}"])
+
+    def _sink_value(self, inst: Instruction, desc: Tuple, operands) -> None:
+        """Fuse a pure value into its single consumer, or materialize
+        it into its local at the current position."""
+        if (desc[0] in ("c", "p")
+                and self.uses.get(inst, 0) == 1
+                and self._fusable(*operands)
+                and self._depth(desc) <= _MAX_FUSE_DEPTH):
+            self._pending[inst] = desc
+        else:
+            self._assign(inst, desc)
+
+    def _materialize_pending(self) -> None:
+        for value, desc in self._pending.items():
+            self._assign(value, desc)
+        self._pending = {}
+
+    @staticmethod
+    def _aggregate(charges) -> Tuple[int, int, Tuple, int, int]:
+        cyc = loads = stores = 0
+        counts: Dict[str, int] = {}
+        for op, c, ld, st in charges:
+            cyc += c
+            loads += ld
+            stores += st
+            counts[op] = counts.get(op, 0) + 1
+        return cyc, len(charges), tuple(counts.items()), loads, stores
+
+    def _finalize_block(self) -> List[str]:
+        charges = self._charges
+        out: List[str] = []
+        if charges:
+            # Deferred charging: the whole block batch goes into plain
+            # locals (flushed once per frame by the function's
+            # ``finally``); only ``__ins`` carries the running absolute
+            # instruction count, for budget checks and callees.
+            cyc, n, items, loads, stores = self._aggregate(charges)
+            if cyc:
+                out.append(f"__cy += {cyc}")
+            out.append(f"__ins += {n}")
+            for key, count in items:
+                out.append(f"{self._acc(key)} += {count}")
+            if loads:
+                self._has_loads = True
+                out.append(f"__lda += {loads}")
+            if stores:
+                self._has_stores = True
+                out.append(f"__sta += {stores}")
+        for lines, ci, is_call in self._steps:
+            if ci is None:
+                out.extend(lines)
+                continue
+            suffix = charges[ci:]
+            cyc, n, items, loads, stores = self._aggregate(suffix)
+            if is_call:
+                # Publish the exact instruction count to the callee,
+                # resync afterwards (the callee's own ``finally``
+                # published its exact count, even on a raise).
+                body = (["__stats.instructions = __ins"] + lines
+                        + ["__ins = __stats.instructions"])
+                handler = ["__ins = __stats.instructions"
+                           + (f" - {n}" if n else "")]
+            elif suffix:
+                body = list(lines)
+                handler = [f"__ins -= {n}"] if n else []
+            else:
+                out.extend(lines)
+                continue
+            if cyc:
+                handler.append(f"__cy -= {cyc}")
+            for key, count in items:
+                handler.append(f"{self._acc(key)} -= {count}")
+            if loads:
+                handler.append(f"__lda -= {loads}")
+            if stores:
+                handler.append(f"__sta -= {stores}")
+            out.append("try:")
+            out.extend("    " + ln for ln in body)
+            out.append("except BaseException:")
+            out.extend("    " + ln for ln in handler)
+            out.append("    raise")
+        return out
+
+    # -- per-block compilation -----------------------------------------
+    def _compile_block(self, block: BasicBlock) -> Tuple[List[str], Tuple]:
+        self._pending = {}
+        self._charges = []
+        self._steps = []
+        self._epoch_fresh = False
+        term_inst = self.term_insts[block]
+        phis = block.phis()
+        for _ in phis:
+            # Charged with the block batch, after the moves ran --
+            # matching the tree-walker's evaluate-then-charge order.
+            self._charges.append(("phi", 0, 0, 0))
+        for inst in block.instructions[len(phis):]:
+            if inst is term_inst:
+                self._charges.append(
+                    (inst.opcode, costs.INSTRUCTION_COSTS[inst.opcode], 0, 0))
+                break
+            self._compile_instruction(inst)
+        # The terminator may consume a pending fused expression, so
+        # resolve its operand before materializing the leftovers; its
+        # expression still evaluates after them at runtime because the
+        # branch line is emitted last.
+        term = self._compile_terminator(block, term_inst)
+        self._materialize_pending()
+        return self._finalize_block(), term
+
+    def _compile_instruction(self, inst) -> None:
+        cls = type(inst)
+        if cls is Load:
+            self._charge("load", costs.INSTRUCTION_COSTS["load"], loads=1)
+            self._compile_load(inst)
+        elif cls is Store:
+            self._charge("store", costs.INSTRUCTION_COSTS["store"], stores=1)
+            self._compile_store(inst)
+        elif cls is BinOp:
+            self._charge(inst.opcode, costs.INSTRUCTION_COSTS[inst.opcode])
+            self._compile_binop(inst)
+        elif cls is GEP:
+            self._charge("gep", 1)
+            self._compile_gep(inst)
+        elif cls is ICmp:
+            self._charge("icmp", 1)
+            self._compile_icmp(inst)
+        elif cls is FCmp:
+            self._charge("fcmp", 2)
+            self._compile_fcmp(inst)
+        elif cls is Cast:
+            self._charge(inst.opcode, costs.INSTRUCTION_COSTS[inst.opcode])
+            self._compile_cast(inst)
+        elif cls is Select:
+            self._charge("select", 1)
+            self._compile_select(inst)
+        elif cls is Call:
+            self._compile_call(inst)
+            # The callee may have unmapped live memory (frame pops,
+            # munmap-style natives): the cached ``__E`` goes stale.
+            self._epoch_fresh = False
+        elif cls is Alloca:
+            self._charge("alloca", 2)
+            self._compile_alloca(inst)
+        elif cls is Phi:
+            # A phi past the leading run: the tree-walker dispatches
+            # on it and raises, without charging it.
+            name = self._bind(
+                VMError(f"phi executed without predecessor: {inst}"))
+            self._step([f"raise {name}"], raising=True)
+        elif cls is Unreachable:
+            name = self._bind(VMError("executed 'unreachable'"))
+            self._step([f"raise {name}"], raising=True)
+        else:
+            name = self._bind(
+                VMError(f"cannot interpret instruction: {inst}"))
+            self._step([f"raise {name}"], raising=True)
+
+    # -- arithmetic / comparisons / casts ------------------------------
+    def _compile_binop(self, inst: BinOp) -> None:
+        op = inst.opcode
+        a = self._operand(inst.lhs)
+        b = self._operand(inst.rhs)
+        ty = inst.type
+        if isinstance(ty, FloatType):
+            if op in ("fadd", "fsub", "fmul", "fdiv", "frem"):
+                self._compile_fbinop(inst, op, a, b)
+            else:
+                name = self._bind(VMError(f"int binop {op}"))
+                self._step([f"raise {name}"], raising=True)
+            return
+        assert isinstance(ty, IntType)
+        bits, mask = ty.bits, ty.mask
+        if op in _DIV_OPS:
+            # Division traps on zero -- always a standalone raising
+            # statement, never fused or const-folded.
+            f = _FunctionCompiler._int_binop_fn(op, bits, mask)
+            name = self._bind(f)
+            self._step(
+                [f"v{self.slots[inst]} = "
+                 f"{name}({self._expr(a)}, {self._expr(b)})"],
+                raising=True)
+            return
+        if a[0] == "c" and b[0] == "c":
+            f = _FunctionCompiler._int_binop_fn(op, bits, mask)
+            if f is None:
+                name = self._bind(VMError(f"int binop {op}"))
+                self._step([f"raise {name}"], raising=True)
+                return
+            self._sink_value(inst, ("c", f(a[1], b[1])), (a, b))
+            return
+        ae, be = self._expr(a), self._expr(b)
+        d = max(self._depth(a), self._depth(b)) + 1
+        if op == "add":
+            e = f"(({ae} + {be}) & {mask})"
+        elif op == "sub":
+            e = f"(({ae} - {be}) & {mask})"
+        elif op == "mul":
+            e = f"(({ae} * {be}) & {mask})"
+        elif op == "and":
+            e = f"({ae} & {be})"
+        elif op == "or":
+            e = f"({ae} | {be})"
+        elif op == "xor":
+            e = f"({ae} ^ {be})"
+        elif op == "shl":
+            e = f"(({ae} << ({be} % {bits})) & {mask})"
+        elif op == "lshr":
+            e = f"({ae} >> ({be} % {bits}))"
+        elif op == "ashr":
+            half = 1 << (bits - 1)
+            e = (f"(((({ae} ^ {half}) - {half}) >> ({be} % {bits}))"
+                 f" & {mask})")
+        else:
+            name = self._bind(VMError(f"int binop {op}"))
+            self._step([f"raise {name}"], raising=True)
+            return
+        self._sink_value(inst, ("p", e, d), (a, b))
+
+    def _compile_fbinop(self, inst: BinOp, op: str, a: Tuple, b: Tuple) -> None:
+        if a[0] == "c" and b[0] == "c":
+            f = _FunctionCompiler._float_binop_fn(op)
+            self._sink_value(inst, ("c", f(a[1], b[1])), (a, b))
+            return
+        ae, be = self._expr(a), self._expr(b)
+        d = max(self._depth(a), self._depth(b)) + 1
+        if op in ("fadd", "fsub", "fmul"):
+            sym = {"fadd": "+", "fsub": "-", "fmul": "*"}[op]
+            self._sink_value(inst, ("p", f"({ae} {sym} {be})", d), (a, b))
+            return
+        # fdiv -> inf on /0, frem -> nan on /0; the divisor appears
+        # twice in the guarded expression, so only atoms are embedded
+        # directly -- compound divisors evaluate once into temporaries
+        # (operand order preserved: lhs before rhs).
+        if op == "fdiv":
+            def make(x, y):
+                return f"(({x} / {y}) if {y} != 0.0 else __INF)"
+        else:
+            def make(x, y):
+                return f"(__fmod({x}, {y}) if {y} != 0.0 else __NAN)"
+        if b[0] in ("s", "c"):
+            self._sink_value(inst, ("p", make(ae, be), d), (a, b))
+            return
+        self._step([
+            f"__x = {ae}",
+            f"__y = {be}",
+            f"v{self.slots[inst]} = {make('__x', '__y')}",
+        ])
+
+    def _compile_icmp(self, inst: ICmp) -> None:
+        a = self._operand(inst.lhs)
+        b = self._operand(inst.rhs)
+        if a[0] == "c" and b[0] == "c":
+            f = _FunctionCompiler._icmp_fn(inst)
+            self._sink_value(inst, ("c", f(a[1], b[1])), (a, b))
+            return
+        pred = inst.predicate
+        # Flag-recompare peephole: ``icmp ne/eq (flag), 0`` of an
+        # already-0/1 inlined comparison passes the flag through (or
+        # inverts its arms) instead of re-wrapping it -- the frontend's
+        # ``bool != 0`` / ``!bool`` chains collapse to one test.
+        if b == ("c", 0) and _is_flag_expr(a):
+            if pred in ("ne", "ugt"):
+                self._sink_value(inst, a, (a, b))
+                return
+            if pred == "eq":
+                inner = _as_condition(a[1])
+                self._sink_value(
+                    inst, ("p", f"(0 if {inner} else 1)", self._depth(a)),
+                    (a, b))
+                return
+        ae, be = self._expr(a), self._expr(b)
+        d = max(self._depth(a), self._depth(b)) + 1
+        sym = _ICMP_SYM[pred]
+        if pred in _ICMP_SIGNED:
+            # Branch-free signed compare: signed(x) < signed(y) iff
+            # (x ^ half) <u (y ^ half) -- one XOR per operand instead
+            # of two compare-and-subtract branches.
+            ty = inst.lhs.type
+            bits = ty.bits if isinstance(ty, IntType) else 64
+            half = 1 << (bits - 1)
+            e = f"(1 if ({ae} ^ {half}) {sym} ({be} ^ {half}) else 0)"
+        else:
+            e = f"(1 if {ae} {sym} {be} else 0)"
+        self._sink_value(inst, ("p", e, d), (a, b))
+
+    def _compile_fcmp(self, inst: FCmp) -> None:
+        a = self._operand(inst.lhs)
+        b = self._operand(inst.rhs)
+        pred = inst.predicate
+        if a[0] == "c" and b[0] == "c":
+            self._sink_value(
+                inst, ("c", FCMP_EVAL[pred](a[1], b[1])), (a, b))
+            return
+        ae, be = self._expr(a), self._expr(b)
+        d = max(self._depth(a), self._depth(b)) + 1
+        sym = _FCMP_SYM.get(pred)
+        if sym is not None:
+            e = f"(1 if {ae} {sym} {be} else 0)"
+        else:
+            name = self._bind(FCMP_EVAL[pred])
+            e = f"{name}({ae}, {be})"
+        self._sink_value(inst, ("p", e, d), (a, b))
+
+    def _compile_cast(self, inst: Cast) -> None:
+        op = inst.opcode
+        src_ty = inst.value.type
+        dst_ty = inst.type
+        v = self._operand(inst.value)
+        ve = self._expr(v)
+        d = self._depth(v) + 1
+        if op in ("fptosi", "fptoui"):
+            # int(NaN/inf) raises -- standalone statement with exact
+            # charge rollback.
+            assert isinstance(dst_ty, IntType)
+            self._step(
+                [f"v{self.slots[inst]} = (int({ve}) & {dst_ty.mask})"],
+                raising=True)
+            return
+        if v[0] == "c" and op in _PURE_CASTS:
+            f = _FunctionCompiler._cast_fn(op, src_ty, dst_ty)
+            if f is None:
+                self._sink_value(inst, v, (v,))
+            else:
+                self._sink_value(inst, ("c", f(v[1])), (v,))
+            return
+        if op == "trunc":
+            desc = ("p", f"({ve} & {dst_ty.mask})", d)
+        elif op == "zext":
+            self._sink_value(inst, v, (v,))
+            return
+        elif op == "sext":
+            half = 1 << (src_ty.bits - 1)
+            desc = ("p", f"((({ve} ^ {half}) - {half}) & {dst_ty.mask})", d)
+        elif op == "ptrtoint":
+            mask = dst_ty.mask if isinstance(dst_ty, IntType) else U64_MASK
+            desc = ("p", f"({ve} & {mask})", d)
+        elif op == "inttoptr":
+            desc = ("p", f"({ve} & {U64_MASK})", d)
+        elif op == "bitcast":
+            f = _FunctionCompiler._cast_fn(op, src_ty, dst_ty)
+            if f is None:
+                self._sink_value(inst, v, (v,))
+                return
+            name = self._bind(f)
+            desc = ("p", f"{name}({ve})", d)
+        elif op in ("fptrunc", "fpext", "uitofp"):
+            desc = ("p", f"float({ve})", d)
+        elif op == "sitofp":
+            half = 1 << (src_ty.bits - 1)
+            desc = ("p", f"float(({ve} ^ {half}) - {half})", d)
+        else:  # pragma: no cover - unknown cast opcode
+            name = self._bind(VMError(f"cast {op}"))
+            self._step([f"raise {name}"], raising=True)
+            return
+        if v[0] == "f":
+            self._assign(inst, ("f", desc[1], d))
+        else:
+            self._sink_value(inst, desc, (v,))
+
+    def _compile_select(self, inst: Select) -> None:
+        c = self._operand(inst.condition)
+        t = self._operand(inst.true_value)
+        f = self._operand(inst.false_value)
+        # Conditional expressions are lazy like the tree-walker: only
+        # the taken arm is evaluated, condition first.
+        e = (f"(({self._expr(t)}) if {_as_condition(self._expr(c))}"
+             f" else ({self._expr(f)}))")
+        d = max(self._depth(c), self._depth(t), self._depth(f)) + 1
+        self._sink_value(inst, ("p", e, d), (c, t, f))
+
+    # -- gep -----------------------------------------------------------
+    def _compile_gep(self, inst: GEP) -> None:
+        base = self._operand(inst.pointer)
+        ty = inst.pointer.type
+        assert isinstance(ty, PointerType)
+        indices = inst.indices
+
+        const_offset = 0
+        var_terms: List[Tuple[Tuple, int, int]] = []
+        bad = None
+
+        def add_index(idx_value: Value, scale: int) -> None:
+            nonlocal const_offset
+            if isinstance(idx_value, ConstantInt):
+                const_offset += idx_value.signed_value * scale
+                return
+            if isinstance(idx_value, (ConstantNull, ConstantZero, UndefValue)):
+                return
+            desc = self._operand(idx_value)
+            ity = idx_value.type
+            bits = ity.bits if isinstance(ity, IntType) else 64
+            var_terms.append((desc, scale, 1 << (bits - 1)))
+
+        add_index(indices[0], size_of(ty.pointee))
+        current = ty.pointee
+        for idx_value in indices[1:]:
+            if isinstance(current, ArrayType):
+                add_index(idx_value, size_of(current.element))
+                current = current.element
+            elif isinstance(current, StructType):
+                assert isinstance(idx_value, ConstantInt)
+                const_offset += struct_field_offset(current, idx_value.value)
+                current = current.fields[idx_value.value]
+            else:
+                bad = current
+                break
+        if bad is not None:  # pragma: no cover - malformed IR
+            name = self._bind(VMError(f"gep into non-aggregate {bad}"))
+            self._step([f"raise {name}"], raising=True)
+            return
+
+        c = const_offset
+        pure = self._fusable(base, *[dd for dd, _, _ in var_terms])
+        if not var_terms:
+            if base[0] == "c":
+                self._sink_value(
+                    inst, ("c", (base[1] + c) & U64_MASK), (base,))
+                return
+            be = self._expr(base)
+            d = self._depth(base) + 1
+            if c:
+                e = f"(({be} + {self._const_expr(c)}) & {U64_MASK})"
+            else:
+                e = f"({be} & {U64_MASK})"
+            self._sink_value(inst, ("p" if pure else "f", e, d), (base,))
+            return
+        sgn = [f"(({self._expr(dd)} ^ {half}) - {half})"
+               for dd, _, half in var_terms]
+        d = max([self._depth(base)]
+                + [self._depth(dd) for dd, _, _ in var_terms]) + 1
+        if pure:
+            terms = "".join(f" + {s} * {scale}"
+                            for s, (_, scale, _) in zip(sgn, var_terms))
+            tail = f" + {self._const_expr(c)}" if c else ""
+            e = f"(({self._expr(base)}{terms}{tail}) & {U64_MASK})"
+            self._sink_value(inst, ("p", e, d), (base,))
+            return
+        # An "f" operand leaked in: materialize here, preserving the
+        # closure tier's evaluation order (single-term shape evaluates
+        # the index before the base; multi-term evaluates base first).
+        dst = self.slots[inst]
+        if len(var_terms) == 1:
+            (_, scale, _) = var_terms[0]
+            self._step([
+                f"__x = {sgn[0]}",
+                f"v{dst} = (({self._expr(base)} + __x * {scale}"
+                f" + {self._const_expr(c)}) & {U64_MASK})",
+            ])
+            return
+        lines = [f"__x = {self._expr(base)} + {self._const_expr(c)}"]
+        for s, (_, scale, _) in zip(sgn, var_terms):
+            lines.append(f"__x += {s} * {scale}")
+        lines.append(f"v{dst} = __x & {U64_MASK}")
+        self._step(lines)
+
+    # -- memory --------------------------------------------------------
+    def _compile_load(self, inst: Load) -> None:
+        dst = self.slots[inst]
+        ty = inst.type
+        size = size_of(ty)
+        pe = self._expr(self._operand(inst.pointer))
+        ca, cl, ch, ce, cd, cp = self._new_site()
+        # The cached high bound is pre-adjusted by the access size, so
+        # a hit is one chained comparison; the cached ``cd``/``cp``
+        # pair replaces a per-access attribute load plus type check
+        # and selects the direct path for the backing storage.
+        hit = (f"{ce} == __E and {cl} <= __p <= {ch}"
+               f" and not {ca}.freed")
+        miss = (self._miss_lines(ca, cl, ch, ce, size, write=False)
+                + self._cache_data_lines(ca, cd, cp))
+        pmask = SparsePages.PAGE_SIZE - 1
+        pfit = SparsePages.PAGE_SIZE - size
+        lines = self._epoch_lines() + [f"__p = {pe}"]
+        if isinstance(ty, FloatType):
+            fmt = "<f" if size == 4 else "<d"
+            lines += [f"if {hit}:", f"    __o = __p - {cl}", "else:"]
+            lines += ["    " + ln for ln in miss]
+            lines += [
+                f"if {cd} is not None:",
+                f"    v{dst} = __lf{size}({cd}, __o)[0]",
+                "else:",
+                f"    __po = __o & {pmask}",
+                f"    if {cp} is not None and __po <= {pfit}:",
+                f"        __pg = {cp}.get(__o >> {SparsePages.PAGE_SHIFT})",
+                f"        v{dst} = (__lf{size}(__pg, __po)[0]"
+                f" if __pg is not None else 0.0)",
+                "    else:",
+                f"        v{dst} = __up({fmt!r},"
+                f" {ca}.data[__o:__o + {size}])[0]",
+            ]
+        elif size == 1:
+            lines += [f"if {hit}:", f"    __o = __p - {cl}", "else:"]
+            lines += ["    " + ln for ln in miss]
+            lines += [
+                f"if {cd} is not None:",
+                f"    v{dst} = {cd}[__o]",
+                f"elif {cp} is not None:",
+                f"    __pg = {cp}.get(__o >> {SparsePages.PAGE_SHIFT})",
+                f"    v{dst} = __pg[__o & {pmask}]"
+                f" if __pg is not None else 0",
+                "else:",
+                f"    v{dst} = {ca}.data[__o]",
+            ]
+        elif size in (2, 4, 8):
+            lines += [f"if {hit}:", f"    __o = __p - {cl}", "else:"]
+            lines += ["    " + ln for ln in miss]
+            lines += [
+                f"if {cd} is not None:",
+                f"    v{dst} = __ld{size}({cd}, __o)[0]",
+                "else:",
+                f"    __po = __o & {pmask}",
+                f"    if {cp} is not None and __po <= {pfit}:",
+                f"        __pg = {cp}.get(__o >> {SparsePages.PAGE_SHIFT})",
+                f"        v{dst} = (__ld{size}(__pg, __po)[0]"
+                f" if __pg is not None else 0)",
+                "    else:",
+                f"        v{dst} = __fb({ca}.data[__o:__o + {size}],"
+                f" 'little')",
+            ]
+        else:
+            lines += [f"if {hit}:", f"    __o = __p - {cl}", "else:"]
+            lines += ["    " + ln for ln in miss]
+            lines += [f"v{dst} = __fb({ca}.data[__o:__o + {size}], 'little')"]
+        self._step(lines, raising=True)
+
+    def _compile_store(self, inst: Store) -> None:
+        ty = inst.value.type
+        size = size_of(ty)
+        pe = self._expr(self._operand(inst.pointer))
+        ve = self._expr(self._operand(inst.value))
+        ca, cl, ch, ce, cd, cp = self._new_site()
+        hit = (f"{ce} == __E and {cl} <= __p <= {ch}"
+               f" and not {ca}.freed")
+        miss = (self._miss_lines(ca, cl, ch, ce, size, write=True)
+                + self._cache_data_lines(ca, cd, cp))
+        pmask = SparsePages.PAGE_SIZE - 1
+        pfit = SparsePages.PAGE_SIZE - size
+        pshift = SparsePages.PAGE_SHIFT
+
+        def page_store(write_line: str, slow_line: str) -> List[str]:
+            # Single-page store fast path: materialize the page like
+            # SparsePages._page would, then write through the bound
+            # packer.  Page-straddling stores take the generic path.
+            return [
+                f"    __po = __o & {pmask}",
+                f"    if {cp} is not None and __po <= {pfit}:",
+                f"        __pg = {cp}.get(__o >> {pshift})",
+                "        if __pg is None:",
+                f"            __pg = bytearray({SparsePages.PAGE_SIZE})",
+                f"            {cp}[__o >> {pshift}] = __pg",
+                f"        {write_line}",
+                "    else:",
+                f"        {slow_line}",
+            ]
+
+        # Tree-walker order: pointer, then value, then the int()
+        # conversion (which may raise on NaN), then address resolution.
+        lines = self._epoch_lines() + [f"__p = {pe}"]
+        if isinstance(ty, FloatType):
+            fmt = "<f" if size == 4 else "<d"
+            lines += [f"__v = {ve}"]
+            lines += [f"if {hit}:", f"    __o = __p - {cl}", "else:"]
+            lines += ["    " + ln for ln in miss]
+            lines += [
+                f"if {cd} is not None:",
+                f"    __sf{size}({cd}, __o, __v)",
+                "else:",
+            ]
+            lines += page_store(
+                f"__sf{size}(__pg, __po, __v)",
+                f"{ca}.data[__o:__o + {size}] = __pk({fmt!r}, __v)",
+            )
+        elif size == 1:
+            lines += [f"__v = int({ve}) & 255"]
+            lines += [f"if {hit}:", f"    __o = __p - {cl}", "else:"]
+            lines += ["    " + ln for ln in miss]
+            lines += [
+                f"if {cd} is not None:",
+                f"    {cd}[__o] = __v",
+                f"elif {cp} is not None:",
+                f"    __pg = {cp}.get(__o >> {pshift})",
+                "    if __pg is None:",
+                f"        __pg = bytearray({SparsePages.PAGE_SIZE})",
+                f"        {cp}[__o >> {pshift}] = __pg",
+                f"    __pg[__o & {pmask}] = __v",
+                "else:",
+                f"    {ca}.data[__o] = __v",
+            ]
+        elif size in (2, 4, 8):
+            mask = (1 << (8 * size)) - 1
+            # int() is the potential raise point (NaN) and must come
+            # before address resolution like the tree-walker's order;
+            # the byte serialization itself cannot fail after masking,
+            # so it may sit on the fast path.
+            lines += [f"__v = int({ve}) & {mask}"]
+            lines += [f"if {hit}:", f"    __o = __p - {cl}", "else:"]
+            lines += ["    " + ln for ln in miss]
+            lines += [
+                f"if {cd} is not None:",
+                f"    __st{size}({cd}, __o, __v)",
+                "else:",
+            ]
+            lines += page_store(
+                f"__st{size}(__pg, __po, __v)",
+                f"{ca}.data[__o:__o + {size}] = "
+                f"__v.to_bytes({size}, 'little')",
+            )
+        else:
+            mask = (1 << (8 * size)) - 1
+            lines += [f"__v = (int({ve}) & {mask}).to_bytes({size}, 'little')"]
+            lines += [f"if {hit}:", f"    __o = __p - {cl}", "else:"]
+            lines += ["    " + ln for ln in miss]
+            lines += [f"{ca}.data[__o:__o + {size}] = __v"]
+        self._step(lines, raising=True)
+
+    def _compile_alloca(self, inst: Alloca) -> None:
+        dst = self.slots[inst]
+        size = size_of(inst.allocated_type)
+        name = inst.name
+        if inst.count is None:
+            line = f"v{dst} = __alloca({size}, {name!r}).base"
+        else:
+            ce = self._expr(self._operand(inst.count))
+            line = f"v{dst} = __alloca({size} * {ce}, {name!r}).base"
+        self._step([line], raising=True)
+
+    # -- calls ---------------------------------------------------------
+    def _compile_call(self, inst: Call) -> None:
+        dst = self.slots[inst] if inst.type.is_first_class() else None
+        arg_exprs = [self._expr(self._operand(a)) for a in inst.args]
+        tgt = f"v{dst} = " if dst is not None else ""
+        callee = inst.callee
+
+        if isinstance(callee, Function):
+            fn = callee
+            if fn.native:
+                site = inst.meta.get("mi_site")
+                impl = self.vm.natives.get(fn.name)
+                if impl is None:
+                    # No implementation registered at compile time:
+                    # call_function raises (or resolves a late
+                    # registration) exactly like the tree-walker.
+                    args = list(arg_exprs)
+                    if site is not None:
+                        args.append(self._bind(site))
+                    fname = self._bind(fn)
+                    self._step(
+                        [f"{tgt}__call({fname}, [{', '.join(args)}])"],
+                        raising=True, call=True)
+                    return
+                key = f"native:{fn.name}"
+                cost = costs.call_cost(fn.name)
+                args = list(arg_exprs)
+                if site is not None:
+                    args.append(self._bind(site))
+                iname = self._bind(impl)
+                self._step([
+                    f"__args = [{', '.join(args)}]",
+                    f"__stats.cycles += {cost}",
+                    "__stats.instructions += 1",
+                    f"__oc[{key!r}] += 1",
+                    "__stats.calls += 1",
+                    f"{tgt}{iname}(__vm, __args)",
+                ], raising=True, call=True)
+                return
+            # Direct call of a defined function or declaration: the
+            # static "call" charge joins the batch.  Defined functions
+            # take the ``__dc`` trampoline, which skips the dispatch
+            # prologue of ``call_function`` (statically dead here).
+            self._charge("call", costs.INSTRUCTION_COSTS["call"])
+            fname = self._bind(fn)
+            helper = "__call" if fn.is_declaration else "__dc"
+            self._step(
+                [f"{tgt}{helper}({fname}, [{', '.join(arg_exprs)}])"],
+                raising=True, call=True)
+            return
+
+        # Indirect call: whether the "call" charge applies depends on
+        # the runtime callee.
+        ce = self._expr(self._operand(callee))
+        site = inst.meta.get("mi_site")
+        call_cost = costs.INSTRUCTION_COSTS["call"]
+        lines = [
+            f"__a = {ce}",
+            "__fx = __fba.get(__a)",
+            "if __fx is None:",
+            "    raise __MemoryFault(__a, 0,"
+            " 'indirect call to non-function address')",
+            f"__args = [{', '.join(arg_exprs)}]",
+        ]
+        if site is not None:
+            sname = self._bind(site)
+            lines += [
+                "if __fx.native:",
+                f"    __args.append({sname})",
+                "else:",
+                f"    __charge('call', {call_cost})",
+            ]
+        else:
+            lines += [
+                "if not __fx.native:",
+                f"    __charge('call', {call_cost})",
+            ]
+        lines.append(f"{tgt}__call(__fx, __args)")
+        self._step(lines, raising=True, call=True)
+
+    # -- control flow --------------------------------------------------
+    def _compile_terminator(self, block: BasicBlock,
+                            inst: Optional[Instruction]) -> Tuple:
+        if isinstance(inst, Br):
+            return ("br", inst.target)
+        if isinstance(inst, CondBr):
+            c = self._operand(inst.condition)
+            return ("cond", self._expr(c), inst.true_block, inst.false_block)
+        if isinstance(inst, Ret):
+            if inst.value is None:
+                return ("ret", None)
+            return ("ret", self._expr(self._operand(inst.value)))
+        # No terminator: the tree-walker runs off the end of the block
+        # and raises without charging anything further.
+        name = self._bind(VMError(
+            f"block {block.name} fell through without terminator"))
+        return ("raise", name)
+
+    def _moves_lines(self, pred: Optional[BasicBlock],
+                     succ: BasicBlock) -> List[str]:
+        phis = succ.phis()
+        if not phis:
+            return []
+        if pred is None:
+            # Function entry into a block with phis.
+            name = self._bind(VMError(
+                f"phi executed without predecessor: {phis[0]}"))
+            return [f"raise {name}"]
+        exprs: List[str] = []
+        dsts: List[str] = []
+        for phi in phis:
+            try:
+                incoming = phi.incoming_value_for(pred)
+            except KeyError as exc:
+                name = self._bind(KeyError(*exc.args))
+                return [f"raise {name}"]
+            exprs.append(self._expr(self._operand(incoming)))
+            dsts.append(f"v{self.slots[phi]}")
+        if len(phis) == 1:
+            return [f"{dsts[0]} = {exprs[0]}"]
+        # Tuple assignment: every incoming value is read before any
+        # phi local is written, so swap cycles resolve in parallel.
+        return [f"{', '.join(dsts)} = {', '.join(exprs)}"]
+
+    # -- layout --------------------------------------------------------
+    def _layout(self) -> List[Tuple[int, List[str]]]:
+        arms: List[Tuple[int, List[str]]] = []
+        emitted = set()
+        self._queue = [b for b in self.fn.blocks
+                       if b in self.labels and b in self.reachable]
+        self._stack: set = set()
+        while self._queue:
+            block = self._queue.pop(0)
+            if block in emitted:
+                continue
+            emitted.add(block)
+            lines: List[str] = []
+            self._layout_block(block, 1, lines)
+            arms.append((self.block_index[block], lines))
+        return arms
+
+    def _layout_block(self, block: BasicBlock, depth: int,
+                      out: List[str]) -> None:
+        out.append(f"# {block.name}:")
+        body_lines, term = self.code[block]
+        out.extend(body_lines)
+        kind = term[0]
+        if kind == "ret":
+            out.append(f"return {term[1]}" if term[1] is not None
+                       else "return None")
+        elif kind == "raise":
+            out.append(f"raise {term[1]}")
+        elif kind == "br":
+            self._transition(block, term[1], depth, out)
+        else:
+            _, cond, tb, fb = term
+            out.append(f"if {_as_condition(cond)}:")
+            sub: List[str] = []
+            self._transition(block, tb, depth, sub)
+            out.extend("    " + ln for ln in sub)
+            out.append("else:")
+            sub = []
+            self._transition(block, fb, depth, sub)
+            out.extend("    " + ln for ln in sub)
+
+    def _transition(self, pred: BasicBlock, succ: BasicBlock, depth: int,
+                    out: List[str]) -> None:
+        # Same order as CompiledFunction.execute: terminator decided,
+        # then budget check, then phi moves, then the next block.
+        out.append(_BUDGET_CHECK)
+        out.append(_BUDGET_RAISE)
+        moves = self._moves_lines(pred, succ)
+        out.extend(moves)
+        if moves and moves[-1].startswith("raise "):
+            return
+        if (succ in self.labels or depth >= _MAX_INLINE_DEPTH
+                or succ in self._stack):
+            if succ not in self.labels:
+                self.labels.add(succ)
+                self._queue.append(succ)
+            out.append(f"__b = {self.block_index[succ]}")
+            out.append("continue")
+        else:
+            self._stack.add(succ)
+            self._layout_block(succ, depth + 1, out)
+            self._stack.discard(succ)
+
+    # -- assembly ------------------------------------------------------
+    def _assemble(self, arms: List[Tuple[int, List[str]]]) -> str:
+        fn = self.fn
+        ind = "    "
+        hot = ("__stats", "__oc", "__mem", "__locate")
+        params = [f"v{self.slots[a]}" for a in fn.args]
+        sig = ", ".join(params + ["*"] + [f"{h}={h}" for h in hot])
+        lines = [
+            f"# codegen tier source for function @{fn.name}",
+            f"def __run({sig}):",
+        ]
+        for i in range(0, len(self._globals), 8):
+            lines.append(ind + "global " + ", ".join(self._globals[i:i + 8]))
+        init = self._slots_needing_init()
+        for i in range(0, len(init), 16):
+            chunk = " = ".join(f"v{s}" for s in init[i:i + 16])
+            lines.append(f"{ind}{chunk} = None")
+        lines.append(ind + "__maxi = __vm.max_instructions")
+        lines.append(ind + "if __maxi is None:")
+        lines.append(ind * 2 + "__maxi = 9223372036854775807")
+        # Deferred-charge locals: cycles, opcode counts, and memory-op
+        # counts accumulate in plain locals and are flushed once, in
+        # the ``finally`` below, at frame exit (return or exception);
+        # ``__ins`` carries the absolute instruction count so budget
+        # checks and callees always see an exact value.
+        lines.append(ind + "__ins = __stats.instructions")
+        accs = ["__cy"] + list(self._acc_names.values())
+        if self._has_loads:
+            accs.append("__lda")
+        if self._has_stores:
+            accs.append("__sta")
+        for i in range(0, len(accs), 8):
+            lines.append(ind + " = ".join(accs[i:i + 8]) + " = 0")
+        for ln in self._moves_lines(None, fn.entry):
+            lines.append(ind + ln)
+        lines.append(ind + f"__b = {self.block_index[fn.entry]}")
+        lines.append(ind + "try:")
+        lines.append(ind * 2 + "while True:")
+        first = True
+        for idx, body in arms:
+            lines.append(
+                ind * 3 + f"{'if' if first else 'elif'} __b == {idx}:")
+            first = False
+            lines.extend(ind * 4 + ln for ln in body)
+        lines.append(ind * 3 + "else:")  # pragma: no cover - unreachable
+        lines.append(ind * 4 + "raise __VMError('codegen dispatch out of"
+                               " range')")
+        lines.append(ind + "finally:")
+        lines.append(ind * 2 + "__stats.instructions = __ins")
+        lines.append(ind * 2 + "__stats.cycles += __cy")
+        if self._has_loads:
+            lines.append(ind * 2 + "__stats.loads += __lda")
+        if self._has_stores:
+            lines.append(ind * 2 + "__stats.stores += __sta")
+        for opcode, name in self._acc_names.items():
+            # Guarded: ``Counter[k] += 0`` would insert a zero-count
+            # key the tree-walker never creates.
+            lines.append(ind * 2 + f"if {name}:")
+            lines.append(ind * 3 + f"__oc[{opcode!r}] += {name}")
+        return "\n".join(lines) + "\n"
+
+    def _slots_needing_init(self) -> List[int]:
+        """Locals that could be read before assignment on some path
+        (cross-block uses, or in-block use before the defining
+        instruction): pre-set to None so they behave like the closure
+        tier's ``[None] * nslots`` frame instead of raising
+        UnboundLocalError."""
+        fn = self.fn
+        def_block: Dict[Value, BasicBlock] = {}
+        for block in fn.blocks:
+            for inst in block.instructions:
+                if inst in self.slots:
+                    def_block[inst] = block
+        need = set()
+        for block in fn.blocks:
+            seen = set()
+            for inst in block.instructions:
+                for op in inst.operands:
+                    if (isinstance(op, Instruction) and op in self.slots
+                            and (def_block.get(op) is not block
+                                 or op not in seen)):
+                        need.add(self.slots[op])
+                seen.add(inst)
+        return sorted(need)

@@ -81,7 +81,9 @@ U64_MASK = (1 << 64) - 1
 _LOAD_COST = costs.INSTRUCTION_COSTS["load"]
 _STORE_COST = costs.INSTRUCTION_COSTS["store"]
 
-ENGINES = ("compiled", "interp")
+# Canonical engine registry lives in .engines; re-exported here for
+# backwards compatibility (CLI builders and campaign code import it).
+from .engines import ENGINES  # noqa: E402
 
 # Per-predicate comparison dispatch: one operator call per executed
 # icmp instead of building and indexing a ten-entry table.
@@ -150,6 +152,14 @@ class VirtualMachine:
         self._globals_loaded = False
         # Lazy per-function closure-compilation cache (compiled engine).
         self._compiled: Dict[Function, "CompiledFunction"] = {}
+        # Lazy per-function source-generation cache (codegen engine).
+        self._codegen: Dict[Function, object] = {}
+        # Set by the driver (``--dump-codegen``): directory receiving
+        # one generated-source file per compiled function.
+        self.codegen_dump_dir: Optional[str] = None
+        # Set when engine="codegen" transparently falls back to the
+        # closure tier (profiling needs per-site cycle attribution).
+        self.codegen_fallback_reason: Optional[str] = None
         if install_default_libc:
             install_libc(self)
 
@@ -258,6 +268,17 @@ class VirtualMachine:
         self.stats.calls += 1
         if self.engine == "compiled":
             return self._run_function_compiled(fn, args)
+        if self.engine == "codegen":
+            if self.stats.profile:
+                # Per-site cycle attribution requires the closure
+                # tier's profile-specialized batches; fall back and
+                # record why (stats stay bit-identical either way).
+                if self.codegen_fallback_reason is None:
+                    self.codegen_fallback_reason = (
+                        "profile=True: per-site cycle attribution "
+                        "requires the closure tier")
+                return self._run_function_compiled(fn, args)
+            return self._run_function_codegen(fn, args)
         return self._run_function(fn, args)
 
     # -- the main loop -----------------------------------------------------------
@@ -281,6 +302,49 @@ class VirtualMachine:
 
             compiled = CompiledFunction(self, fn)
             self._compiled[fn] = compiled
+        self.stack.push_frame()
+        self._frame_cleanups.append([])
+        try:
+            return compiled.execute(args)
+        finally:
+            for action in reversed(self._frame_cleanups.pop()):
+                action()
+            self.stack.pop_frame()
+
+    def _run_function_codegen(self, fn: Function, args: List) -> Optional[object]:
+        compiled = self._codegen.get(fn)
+        if compiled is None:
+            from .codegen import CodegenFunction
+
+            compiled = CodegenFunction(self, fn, index=len(self._codegen))
+            self._codegen[fn] = compiled
+        self.stack.push_frame()
+        self._frame_cleanups.append([])
+        try:
+            return compiled.execute(args)
+        finally:
+            for action in reversed(self._frame_cleanups.pop()):
+                action()
+            self.stack.pop_frame()
+
+    def _codegen_direct_call(self, fn: Function, args: List) -> Optional[object]:
+        """Direct-call fast path bound into generated source (``__dc``).
+
+        The emitter uses this only for direct calls to defined,
+        non-native functions, where :meth:`call_function`'s native /
+        declaration / engine dispatch is statically dead (generated
+        code never runs under ``profile=True`` -- ``call_function``
+        falls back to the closure tier before any of it executes), so
+        the whole prologue collapses to the call counter plus the
+        codegen frame push.
+        """
+        self.stats.calls += 1
+        compiled = self._codegen.get(fn)
+        if compiled is None:
+            from .codegen import CodegenFunction
+
+            compiled = CodegenFunction(self, fn, index=len(self._codegen))
+            self._codegen[fn] = compiled
         self.stack.push_frame()
         self._frame_cleanups.append([])
         try:

@@ -195,6 +195,8 @@ class TestDiskCache:
         assert job_key(dict(payload, engine="compiled")) == job_key(payload)
         assert job_key(dict(payload, engine="interp")) == \
             job_key(dict(payload, engine="compiled"))
+        assert job_key(dict(payload, engine="codegen")) == \
+            job_key(dict(payload, engine="compiled"))
 
     def test_format_version_tracks_schema_changes(self):
         # The closure-compiled tier required no bump (engines are
@@ -216,6 +218,19 @@ class TestDiskCache:
         assert cached.to_json() == original.to_json()
         assert second.cache_hits == 1
         assert second.executed_jobs == 0
+
+    def test_codegen_cached_result_replays_for_other_tiers(self, tmp_path,
+                                                           monkeypatch):
+        first = _engine(tmp_path, vm_engine="codegen")
+        original = first.run(get("197parser"), "softbound")
+
+        _forbid_execution(monkeypatch)
+        for other in ("compiled", "interp"):
+            replay = _engine(tmp_path, vm_engine=other)
+            cached = replay.run(get("197parser"), "softbound")
+            assert cached.to_json() == original.to_json()
+            assert replay.cache_hits == 1
+            assert replay.executed_jobs == 0
 
     def test_old_style_payload_without_engine_field_replays(self, tmp_path,
                                                             monkeypatch):
@@ -369,20 +384,23 @@ class TestEngineOverride:
                                 ("softbound", "interp")]
 
     def test_mixed_batch_not_memo_aliased(self):
-        """The same (workload, label) under two engines must execute
-        twice -- a shared memo entry would make the comparison vacuous."""
+        """The same (workload, label) under each engine must execute
+        separately -- a shared memo entry would make the comparison
+        vacuous."""
         engine = ExperimentEngine(jobs=1, vm_engine="compiled")
         workload = get("197parser")
+        tiers = ("compiled", "interp", "codegen")
         results = engine.run_many([
-            JobRequest(workload, "softbound", engine="compiled"),
-            JobRequest(workload, "softbound", engine="interp"),
+            JobRequest(workload, "softbound", engine=tier)
+            for tier in tiers
         ])
-        # 2 instrumented jobs + 2 baseline references
-        assert engine.executed_jobs == 4
-        assert results[0] is not results[1]
+        # 3 instrumented jobs + 3 baseline references
+        assert engine.executed_jobs == 6
+        assert len({id(r) for r in results}) == len(tiers)
         # ...and the tiers really are bit-identical (the invariant the
         # fuzz oracle checks at scale)
-        assert results[0].to_json() == results[1].to_json()
+        assert results[1].to_json() == results[0].to_json()
+        assert results[2].to_json() == results[0].to_json()
 
     def test_override_bypasses_disk_cache(self, tmp_path):
         """A cached-at-``vm_engine`` result must not satisfy an
@@ -457,13 +475,33 @@ class TestEngineKeyedCache:
     def test_disk_keys_differ_only_by_engine(self):
         engine = ExperimentEngine(engine_keyed_cache=True)
         workload = get("197parser")
-        compiled = engine._payload(JobRequest(workload, "baseline",
-                                              engine="compiled"))
-        interp = engine._payload(JobRequest(workload, "baseline",
-                                            engine="interp"))
-        assert engine._disk_key(compiled) != engine._disk_key(interp)
+        payloads = [
+            engine._payload(JobRequest(workload, "baseline", engine=tier))
+            for tier in ("compiled", "interp", "codegen")
+        ]
+        disk_keys = [engine._disk_key(p) for p in payloads]
+        assert len(set(disk_keys)) == len(payloads)
         # the engine-agnostic key ignores the engine field entirely
-        assert job_key(compiled) == job_key(interp)
+        assert len({job_key(p) for p in payloads}) == 1
+
+    def test_codegen_entries_keyed_apart(self, tmp_path, monkeypatch):
+        """A codegen campaign shard stores and replays its own entries
+        without ever touching the closure tier's."""
+        workload = get("197parser")
+        first = _engine(tmp_path, engine_keyed_cache=True)
+        first.run_request(JobRequest(workload, "baseline",
+                                     engine="compiled"))
+        first.run_request(JobRequest(workload, "baseline",
+                                     engine="codegen"))
+        assert first.cache_hits == 0
+        assert len(first.cache) == 2
+
+        _forbid_execution(monkeypatch)
+        second = _engine(tmp_path, engine_keyed_cache=True)
+        result = second.run_request(JobRequest(workload, "baseline",
+                                               engine="codegen"))
+        assert second.cache_hits == 1
+        assert result.cycles > 0
 
     def test_fingerprint_is_engine_qualified_and_mode_independent(self):
         """Campaign sharding hashes the fingerprint; it must not depend

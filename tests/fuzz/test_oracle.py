@@ -15,6 +15,7 @@ from repro.fuzz.oracle import (
     Matrix,
     Mismatch,
 )
+from repro.vm.engines import ENGINES
 
 
 def _result(label, *, output=("1", "done"), status="exit",
@@ -35,9 +36,12 @@ def _result(label, *, output=("1", "done"), status="exit",
 class TestMatrices:
     def test_full_matrix_shape(self):
         assert len(FULL_MATRIX.labels) == 9
-        assert FULL_MATRIX.engines == ("compiled", "interp")
-        assert len(FULL_MATRIX) == 18
-        assert len(FULL_MATRIX.cells) == 18
+        # the full matrix always covers every registered VM engine, so
+        # a new tier widens the fuzz surface without an edit here
+        assert FULL_MATRIX.engines == ENGINES
+        assert "codegen" in FULL_MATRIX.engines
+        assert len(FULL_MATRIX) == 9 * len(ENGINES) == 27
+        assert len(FULL_MATRIX.cells) == 27
         assert "softbound-hoist" in FULL_MATRIX.labels
         assert "lowfat-hoist" in FULL_MATRIX.labels
 

@@ -1,0 +1,359 @@
+"""Unit tests for the codegen execution tier (``--engine codegen``).
+
+The codegen tier compiles each IR function to one generated Python
+source string.  Everything observable -- return values, output, and
+field-for-field ``RuntimeStats`` including the exact state at raise
+points -- must match the other two engines; these tests pin down the
+mechanisms that make that work: the while-loop block dispatch, phi
+tuple assignments (including swap cycles), exact cycle rollback on
+raising steps, per-predicate fcmp NaN semantics, the profile
+fallback, source dumping, and the per-function emission cache.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.ir import (
+    FunctionType,
+    I32,
+    I64,
+    IRBuilder,
+    Module,
+)
+from repro.vm import VirtualMachine
+from repro.vm.codegen import CodegenFunction
+from repro.errors import VMError
+
+from .test_fcmp import OPERANDS, PREDICATES, _fcmp_module, reference
+
+
+def _stats_dict(vm):
+    return dataclasses.asdict(vm.stats)
+
+
+def _run_engines(module_factory, engines=("interp", "compiled", "codegen")):
+    """Run the same module on each engine; return {engine: (exit, stats)}."""
+    out = {}
+    for engine in engines:
+        vm = VirtualMachine(module_factory(), engine=engine)
+        out[engine] = (vm.run(), _stats_dict(vm))
+    return out
+
+
+class TestBlockDispatch:
+    """Multi-block control flow through the while-loop jump table."""
+
+    @staticmethod
+    def _diamond(n):
+        mod = Module("diamond")
+        fn = mod.add_function("main", FunctionType(I32, []), [])
+        entry = fn.add_block("entry")
+        then = fn.add_block("then")
+        other = fn.add_block("else")
+        join = fn.add_block("join")
+        b = IRBuilder(entry)
+        cond = b.icmp("slt", b.const_i32(n), b.const_i32(10))
+        b.cond_br(cond, then, other)
+        b = IRBuilder(then)
+        b.br(join)
+        b = IRBuilder(other)
+        b.br(join)
+        b = IRBuilder(join)
+        phi = b.phi(I32)
+        phi.add_incoming(b.const_i32(1), then)
+        phi.add_incoming(b.const_i32(2), other)
+        b.ret(phi)
+        return mod
+
+    @pytest.mark.parametrize("n,expected", [(3, 1), (30, 2)])
+    def test_diamond_selects_correct_arm(self, n, expected):
+        results = _run_engines(lambda: self._diamond(n))
+        assert results["codegen"][0] == expected
+        assert results["codegen"] == results["interp"]
+        assert results["codegen"] == results["compiled"]
+
+    def test_loop_backedge(self):
+        # Counting loop: exercises a dispatch label with two
+        # predecessors plus the instruction-budget backedge check.
+        def build():
+            mod = Module("loop")
+            fn = mod.add_function("main", FunctionType(I32, []), [])
+            entry = fn.add_block("entry")
+            header = fn.add_block("header")
+            body = fn.add_block("body")
+            done = fn.add_block("done")
+            b = IRBuilder(entry)
+            b.br(header)
+            b = IRBuilder(header)
+            i = b.phi(I32, "i")
+            acc = b.phi(I32, "acc")
+            i.add_incoming(b.const_i32(0), entry)
+            acc.add_incoming(b.const_i32(0), entry)
+            b.cond_br(b.icmp("slt", i, b.const_i32(10)), body, done)
+            b = IRBuilder(body)
+            inext = b.add(i, b.const_i32(1))
+            anext = b.add(acc, i)
+            i.add_incoming(inext, body)
+            acc.add_incoming(anext, body)
+            b.br(header)
+            b = IRBuilder(done)
+            b.ret(acc)
+            return mod
+
+        results = _run_engines(build)
+        assert results["codegen"][0] == 45
+        assert results["codegen"] == results["interp"]
+        assert results["codegen"] == results["compiled"]
+
+
+class TestPhiTupleAssignment:
+    """Parallel phi moves become one tuple assignment; ordering must
+    be simultaneous, not sequential."""
+
+    @staticmethod
+    def _swap_module(iterations):
+        # a, b = b, a each iteration: a sequential compile would
+        # collapse both to the same value after one trip.
+        mod = Module("swap")
+        fn = mod.add_function("main", FunctionType(I32, []), [])
+        entry = fn.add_block("entry")
+        header = fn.add_block("header")
+        body = fn.add_block("body")
+        done = fn.add_block("done")
+        b = IRBuilder(entry)
+        b.br(header)
+        b = IRBuilder(header)
+        i = b.phi(I32, "i")
+        a = b.phi(I32, "a")
+        bb = b.phi(I32, "b")
+        i.add_incoming(b.const_i32(0), entry)
+        a.add_incoming(b.const_i32(1), entry)
+        bb.add_incoming(b.const_i32(2), entry)
+        b.cond_br(b.icmp("slt", i, b.const_i32(iterations)), body, done)
+        b2 = IRBuilder(body)
+        inext = b2.add(i, b2.const_i32(1))
+        i.add_incoming(inext, body)
+        a.add_incoming(bb, body)    # a' = b
+        bb.add_incoming(a, body)    # b' = a  (swap cycle)
+        b2.br(header)
+        b3 = IRBuilder(done)
+        b3.ret(a)
+        return mod
+
+    @pytest.mark.parametrize("iterations,expected", [(0, 1), (1, 2),
+                                                     (2, 1), (5, 2)])
+    def test_swap_cycle(self, iterations, expected):
+        results = _run_engines(lambda: self._swap_module(iterations))
+        assert results["codegen"][0] == expected
+        assert results["codegen"] == results["interp"]
+
+    def test_fibonacci_phis(self):
+        # a, b = b, a + b: a value used by another phi's incoming
+        # expression in the same parallel step.
+        def build():
+            mod = Module("fib")
+            fn = mod.add_function("main", FunctionType(I64, []), [])
+            entry = fn.add_block("entry")
+            header = fn.add_block("header")
+            body = fn.add_block("body")
+            done = fn.add_block("done")
+            b = IRBuilder(entry)
+            b.br(header)
+            b = IRBuilder(header)
+            i = b.phi(I64, "i")
+            a = b.phi(I64, "a")
+            bb = b.phi(I64, "b")
+            i.add_incoming(b.const_i64(0), entry)
+            a.add_incoming(b.const_i64(0), entry)
+            bb.add_incoming(b.const_i64(1), entry)
+            b.cond_br(b.icmp("slt", i, b.const_i64(10)), body, done)
+            b2 = IRBuilder(body)
+            inext = b2.add(i, b2.const_i64(1))
+            anext = bb
+            bnext = b2.add(a, bb)
+            i.add_incoming(inext, body)
+            a.add_incoming(anext, body)
+            bb.add_incoming(bnext, body)
+            b2.br(header)
+            b3 = IRBuilder(done)
+            b3.ret(a)
+            return mod
+
+        results = _run_engines(build)
+        assert results["codegen"][0] == 55  # fib(10)
+        assert results["codegen"] == results["interp"]
+        assert results["codegen"] == results["compiled"]
+
+
+class TestCycleRollback:
+    """A raising step must unroll the block batch so stats reflect
+    exactly the instructions the tree-walker would have charged."""
+
+    @staticmethod
+    def _div_by_zero_module():
+        # Several charged instructions, then sdiv %x, 0 mid-block,
+        # then more instructions that must NOT be charged.
+        mod = Module("divzero")
+        fn = mod.add_function("main", FunctionType(I32, []), [])
+        b = IRBuilder(fn.add_block("entry"))
+        slot = b.alloca(I32)
+        b.store(b.const_i32(7), slot)
+        x = b.load(slot)
+        q = b.binop("sdiv", x, b.const_i32(0))
+        y = b.add(q, b.const_i32(1))
+        b.ret(y)
+        return mod
+
+    @pytest.mark.parametrize("engine", ["compiled", "codegen"])
+    def test_stats_identical_to_interp_at_raise(self, engine):
+        vms = {}
+        for eng in ("interp", engine):
+            vm = VirtualMachine(self._div_by_zero_module(), engine=eng)
+            with pytest.raises(VMError):
+                vm.run()
+            vms[eng] = _stats_dict(vm)
+        assert vms[engine] == vms["interp"]
+
+    def test_budget_exceeded_stats_identical(self):
+        def build():
+            mod = Module("spin")
+            fn = mod.add_function("main", FunctionType(I32, []), [])
+            entry = fn.add_block("entry")
+            loop = fn.add_block("loop")
+            b = IRBuilder(entry)
+            b.br(loop)
+            b = IRBuilder(loop)
+            i = b.phi(I32)
+            i.add_incoming(b.const_i32(0), entry)
+            inext = b.add(i, b.const_i32(1))
+            i.add_incoming(inext, loop)
+            b.br(loop)
+            return mod
+
+        stats = {}
+        for engine in ("interp", "compiled", "codegen"):
+            vm = VirtualMachine(build(), engine=engine,
+                                max_instructions=10_000)
+            with pytest.raises(VMError, match="budget"):
+                vm.run()
+            stats[engine] = _stats_dict(vm)
+        assert stats["codegen"] == stats["interp"]
+        assert stats["codegen"] == stats["compiled"]
+
+
+class TestFcmpNaN:
+    """Per-predicate fcmp on the codegen tier, reusing the reference
+    oracle and operand corpus of the engine-wide fcmp suite."""
+
+    @pytest.mark.parametrize("pred", PREDICATES)
+    def test_all_predicates_all_operands(self, pred):
+        for through_memory in (False, True):
+            for a in OPERANDS:
+                for b in OPERANDS:
+                    mod = _fcmp_module(pred, a, b, through_memory)
+                    vm = VirtualMachine(mod, engine="codegen")
+                    assert vm.run() == reference(pred, a, b), (
+                        f"fcmp {pred} {a}, {b} "
+                        f"(memory={through_memory}, engine=codegen)")
+
+
+class TestProfileFallback:
+    def test_profile_run_falls_back_and_records_reason(self):
+        mod = Module("p")
+        fn = mod.add_function("main", FunctionType(I32, []), [])
+        b = IRBuilder(fn.add_block("entry"))
+        b.ret(b.const_i32(5))
+
+        vm = VirtualMachine(mod, engine="codegen", profile=True)
+        assert vm.run() == 5
+        assert vm.codegen_fallback_reason is not None
+        assert "profile" in vm.codegen_fallback_reason
+        # The closure tier actually ran: no codegen compilation happened.
+        assert not vm._codegen
+        assert vm._compiled
+
+    def test_non_profile_run_has_no_fallback(self):
+        mod = Module("p")
+        fn = mod.add_function("main", FunctionType(I32, []), [])
+        b = IRBuilder(fn.add_block("entry"))
+        b.ret(b.const_i32(5))
+        vm = VirtualMachine(mod, engine="codegen")
+        assert vm.run() == 5
+        assert vm.codegen_fallback_reason is None
+        assert vm._codegen
+
+
+class TestSourceDump:
+    def test_dump_writes_numbered_files_with_block_comments(self, tmp_path):
+        mod = Module("d")
+        callee = mod.add_function("helper", FunctionType(I32, [I32]), ["x"])
+        b = IRBuilder(callee.add_block("entry"))
+        b.ret(b.add(callee.args[0], b.const_i32(1)))
+        fn = mod.add_function("main", FunctionType(I32, []), [])
+        b = IRBuilder(fn.add_block("entry"))
+        b.ret(b.call(callee, [b.const_i32(41)]))
+
+        vm = VirtualMachine(mod, engine="codegen")
+        vm.codegen_dump_dir = str(tmp_path)
+        assert vm.run() == 42
+        names = sorted(p.name for p in tmp_path.iterdir())
+        assert names == ["000_main.py", "001_helper.py"]
+        source = (tmp_path / "000_main.py").read_text()
+        assert "# codegen tier source for function @main" in source
+        assert "# entry:" in source
+
+
+class TestEmissionCache:
+    """Emission is cached on the Function keyed by the VM-environment
+    signature: fresh VMs over the same program skip the emitter."""
+
+    @staticmethod
+    def _module():
+        mod = Module("c")
+        fn = mod.add_function("main", FunctionType(I32, []), [])
+        b = IRBuilder(fn.add_block("entry"))
+        slot = b.alloca(I32)
+        b.store(b.const_i32(3), slot)
+        b.ret(b.load(slot))
+        return mod
+
+    def test_fresh_vm_reuses_source_and_code(self):
+        mod = self._module()
+        vm1 = VirtualMachine(mod, engine="codegen")
+        assert vm1.run() == 3
+        fn = mod.functions["main"]
+        cached = fn._codegen_cache
+        assert cached is not None
+        vm2 = VirtualMachine(mod, engine="codegen")
+        assert vm2.run() == 3
+        assert fn._codegen_cache is cached  # no re-emission
+        cg1 = vm1._codegen[fn]
+        cg2 = vm2._codegen[fn]
+        assert cg1 is not cg2              # per-VM compiled object
+        assert cg1.source == cg2.source    # shared emission
+        assert _stats_dict(vm1) == _stats_dict(vm2)
+
+    def test_reused_emission_state_is_pristine(self):
+        # The second VM must not observe the first VM's inline-cache
+        # state (allocation objects belong to the first VM's memory).
+        mod = self._module()
+        results = []
+        for _ in range(3):
+            vm = VirtualMachine(mod, engine="codegen")
+            results.append((vm.run(), _stats_dict(vm)))
+        assert results[0] == results[1] == results[2]
+
+
+class TestExecuteArgumentFixing:
+    def test_extra_and_missing_arguments(self):
+        mod = Module("a")
+        fn = mod.add_function("f", FunctionType(I64, [I64, I64]), ["a", "b"])
+        b = IRBuilder(fn.add_block("entry"))
+        b.ret(fn.args[0])
+        vm = VirtualMachine(mod, engine="codegen")
+        vm.load_globals()
+        compiled = CodegenFunction(vm, fn)
+        assert compiled.execute([7, 8]) == 7        # exact
+        assert compiled.execute([7, 8, 9]) == 7     # extra dropped
+        assert compiled.execute([7]) == 7           # missing -> None
